@@ -1,0 +1,272 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablations of the design choices DESIGN.md calls out. Each benchmark
+// drives the same experiment code the CLI uses, over a reduced workbench
+// (the engine caches schedules, so timings reflect the first regeneration;
+// run with -benchtime=1x for one clean regeneration per artifact, which is
+// how bench_output.txt is produced).
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/experiments"
+	"repro/internal/lifetimes"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/widen"
+)
+
+// benchLoops keeps the full harness runnable in minutes on one core; the
+// CLI regenerates the same artifacts at the paper's 1180-loop scale.
+const benchLoops = 100
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+	benchErr  error
+)
+
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx, benchErr = experiments.NewContext(benchLoops, 0)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCtx
+}
+
+func runExperiment(b *testing.B, id string) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkTable1SIA regenerates Table 1 (SIA predictions).
+func BenchmarkTable1SIA(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2RegisterCells regenerates Table 2 (register cell model).
+func BenchmarkTable2RegisterCells(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3RFArea regenerates Table 3 (register file areas).
+func BenchmarkTable3RFArea(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4AccessTime regenerates Table 4 (access-time model vs paper).
+func BenchmarkTable4AccessTime(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5Implementable regenerates Table 5 (implementability matrix).
+func BenchmarkTable5Implementable(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6CycleModels regenerates Table 6 (latency models).
+func BenchmarkTable6CycleModels(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkFig2PeakILP regenerates Figure 2 (ILP limits over the design
+// space up to factor 128).
+func BenchmarkFig2PeakILP(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3SpillEffects regenerates Figure 3 (spill-constrained
+// speed-ups across register file sizes).
+func BenchmarkFig3SpillEffects(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4AreaCost regenerates Figure 4 (area against technology bands).
+func BenchmarkFig4AreaCost(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig6Partitioning regenerates Figure 6 (partitioning trade-off).
+func BenchmarkFig6Partitioning(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7CodeSize regenerates Figure 7 (relative code size).
+func BenchmarkFig7CodeSize(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Tradeoffs regenerates Figure 8 (performance/cost panels).
+func BenchmarkFig8Tradeoffs(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9TopFive regenerates Figure 9 (top five per technology).
+func BenchmarkFig9TopFive(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkScheduler measures raw modulo-scheduling throughput over the
+// workbench on the baseline machine.
+func BenchmarkScheduler(b *testing.B) {
+	p := loopgen.Defaults()
+	p.Loops = 40
+	loops, err := loopgen.Workbench(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.New(machine.Config{Buses: 2, Width: 1}, 256, machine.FourCycle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := loops[i%len(loops)]
+		if _, err := sched.ModuloSchedule(l, m, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWidenTransform measures the widening transformation at width 8.
+func BenchmarkWidenTransform(b *testing.B) {
+	p := loopgen.Defaults()
+	p.Loops = 40
+	loops, err := loopgen.Workbench(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		widen.Transform(loops[i%len(loops)], 8)
+	}
+}
+
+// ablationSuite builds schedules for the ordering/allocation ablations.
+func ablationSuite(b *testing.B, order sched.OrderFunc) []*sched.Schedule {
+	b.Helper()
+	p := loopgen.Defaults()
+	p.Loops = 60
+	loops, err := loopgen.Workbench(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.New(machine.Config{Buses: 4, Width: 1}, 1<<20, machine.FourCycle)
+	var out []*sched.Schedule
+	for _, l := range loops {
+		s, err := sched.ModuloSchedule(l, m, &sched.Options{Order: order})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// BenchmarkAblationOrdering compares the HRMS-family ordering against the
+// naive topological ordering: same machine, same loops, and reports the
+// average MaxLive (registers of pressure) each produces. The HRMS ordering
+// is the paper's register-pressure-sensitivity claim; the metric gap is the
+// evidence.
+func BenchmarkAblationOrdering(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		order sched.OrderFunc
+	}{
+		{"hrms", sched.HRMSOrder},
+		{"naive", sched.NaiveOrder},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				scheds := ablationSuite(b, c.order)
+				total := 0
+				for _, s := range scheds {
+					total += lifetimes.Compute(s).MaxLive()
+				}
+				avg = float64(total) / float64(len(scheds))
+			}
+			b.ReportMetric(avg, "maxlive/loop")
+		})
+	}
+}
+
+// BenchmarkAblationAllocation compares end-fit against first-fit placement:
+// average registers above the MaxLive lower bound across the suite.
+func BenchmarkAblationAllocation(b *testing.B) {
+	scheds := ablationSuite(b, nil)
+	var sets []*lifetimes.Set
+	for _, s := range scheds {
+		sets = append(sets, lifetimes.Compute(s))
+	}
+	for _, c := range []struct {
+		name  string
+		strat regalloc.Strategy
+	}{
+		{"endfit", regalloc.EndFit},
+		{"firstfit", regalloc.FirstFit},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var avgExcess float64
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, set := range sets {
+					total += regalloc.MinRegs(set, c.strat) - set.MaxLive()
+				}
+				avgExcess = float64(total) / float64(len(sets))
+			}
+			b.ReportMetric(avgExcess, "regs-over-maxlive")
+		})
+	}
+}
+
+// BenchmarkAblationWideningCapacity quantifies the paper's register-
+// capacity argument in isolation: the average register requirement of the
+// workbench on 8w1 versus 4w2 at the unconstrained schedule.
+func BenchmarkAblationWideningCapacity(b *testing.B) {
+	p := loopgen.Defaults()
+	p.Loops = 60
+	loops, err := loopgen.Workbench(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cs := range []string{"8w1", "4w2"} {
+		cfg, err := machine.ParseConfig(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cs, func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				m := machine.New(cfg, 1<<20, machine.FourCycle)
+				total := 0
+				for _, l := range loops {
+					tl, _ := widen.Transform(l, cfg.Width)
+					s, err := sched.ModuloSchedule(tl, m, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += regalloc.MinRegs(lifetimes.Compute(s), regalloc.EndFit)
+				}
+				avg = float64(total) / float64(len(loops))
+			}
+			b.ReportMetric(avg, "regs/loop")
+		})
+	}
+}
+
+// BenchmarkRegisterPressure measures lifetime analysis plus allocation
+// throughput on scheduled loops.
+func BenchmarkRegisterPressure(b *testing.B) {
+	scheds := ablationSuite(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := scheds[i%len(scheds)]
+		set := lifetimes.Compute(s)
+		if regalloc.MinRegs(set, regalloc.EndFit) < set.MaxLive() {
+			b.Fatal("allocation below MaxLive")
+		}
+	}
+}
+
+var benchSink *ddg.Loop
+
+// BenchmarkLoopGeneration measures workbench synthesis.
+func BenchmarkLoopGeneration(b *testing.B) {
+	p := loopgen.Defaults()
+	p.Loops = 50
+	for i := 0; i < b.N; i++ {
+		loops, err := loopgen.Workbench(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = loops[0]
+	}
+}

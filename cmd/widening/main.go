@@ -1,0 +1,115 @@
+// Command widening regenerates the tables and figures of López et al.,
+// "Widening Resources: A Cost-effective Technique for Aggressive ILP
+// Architectures" (MICRO-31, 1998) over the calibrated synthetic workbench.
+//
+// Usage:
+//
+//	widening [-loops N] [-seed S] <experiment>... | all | list
+//	widening schedule -config 4w2 -regs 64 -kernel daxpy
+//
+// Experiments: table1 table2 table3 table4 table5 table6
+//
+//	fig2 fig3 fig4 fig6 fig7 fig8 fig9
+//
+// The full 1180-loop workbench makes fig3/fig8/fig9 take a while on one
+// core; -loops trades fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "widening:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) > 0 && args[0] == "schedule" {
+		return runSchedule(args[1:])
+	}
+
+	fs := flag.NewFlagSet("widening", flag.ContinueOnError)
+	loops := fs.Int("loops", 0, "workbench size (0 = the paper's 1180 loops)")
+	seed := fs.Int64("seed", 0, "workbench seed (0 = calibrated default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		usage()
+		return fmt.Errorf("no experiment selected")
+	}
+	if targets[0] == "list" {
+		ids := experiments.IDs()
+		titles := experiments.Titles()
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-8s %s\n", id, titles[id])
+		}
+		return nil
+	}
+
+	ctx, err := experiments.NewContext(*loops, *seed)
+	if err != nil {
+		return err
+	}
+	if targets[0] == "all" {
+		targets = experiments.IDs()
+	}
+	for _, id := range targets {
+		start := time.Now()
+		res, err := ctx.Run(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s: %s (%.1fs)\n\n%s\n", res.ID(), res.Title(),
+			time.Since(start).Seconds(), res.Render())
+	}
+	return nil
+}
+
+func runSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
+	cfgStr := fs.String("config", "2w2", "configuration XwY")
+	regs := fs.Int("regs", 64, "register file size (wide registers)")
+	kernel := fs.String("kernel", "daxpy", "kernel name (see -kernel list)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *kernel == "list" {
+		for _, k := range core.Kernels() {
+			fmt.Printf("%-12s %d ops\n", k.Name, k.NumOps())
+		}
+		return nil
+	}
+	cfg, err := core.ParseConfig(*cfgStr)
+	if err != nil {
+		return err
+	}
+	l := core.Kernel(*kernel)
+	if l == nil {
+		return fmt.Errorf("unknown kernel %q (try -kernel list)", *kernel)
+	}
+	rep, err := core.ScheduleLoop(l, cfg, *regs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernel %s on %s\n%s", l.Name, cfg, rep.Format())
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  widening [-loops N] [-seed S] <experiment>... | all | list
+  widening schedule -config 4w2 -regs 64 -kernel daxpy|list`)
+}

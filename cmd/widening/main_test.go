@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no arguments must error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-loops", "5", "nope"}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunFastExperiment(t *testing.T) {
+	if err := run([]string{"-loops", "5", "table1", "table6"}); err != nil {
+		t.Fatalf("table1 table6: %v", err)
+	}
+}
+
+func TestRunScheduleKernel(t *testing.T) {
+	if err := run([]string{"schedule", "-config", "2w2", "-regs", "64", "-kernel", "daxpy"}); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if err := run([]string{"schedule", "-kernel", "list"}); err != nil {
+		t.Fatalf("kernel list: %v", err)
+	}
+	if err := run([]string{"schedule", "-kernel", "nope"}); err == nil {
+		t.Fatal("unknown kernel must error")
+	}
+	if err := run([]string{"schedule", "-config", "bogus"}); err == nil {
+		t.Fatal("bad config must error")
+	}
+}

@@ -1,0 +1,68 @@
+// Designspace explores beyond the paper: how the widening/replication
+// trade-off moves with the workload's compactable fraction and with the
+// silicon budget.
+//
+// The paper's conclusion (combine a little of both) rests on two
+// empirical properties of its workload: most memory accesses are unit
+// stride, and recurrences are scarce. This example sweeps the unit-stride
+// probability of the synthetic workbench and reports, per sweep point, the
+// peak speed-ups of pure replication, pure widening and the mix at equal
+// factor 8 — showing where widening stops paying. It then sweeps the area
+// budget at a fixed workload to show how a tighter budget pushes the
+// best implementable design further toward widening.
+//
+// Run: go run ./examples/designspace [-loops N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	loops := flag.Int("loops", 200, "workbench size per sweep point")
+	flag.Parse()
+
+	fmt.Println("== workload sweep: peak speed-up at factor 8 vs unit-stride fraction")
+	fmt.Printf("%-12s %8s %8s %8s\n", "unit-stride", "8w1", "4w2", "1w8")
+	for _, usp := range []float64{0.5, 0.65, 0.8, 0.92, 1.0} {
+		p := core.DefaultWorkbenchParams()
+		p.Loops = *loops
+		p.UnitStrideProb = usp
+		suite, err := core.Workbench(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds := core.NewDesignSpace(suite)
+		fmt.Printf("%-12.2f %8.2f %8.2f %8.2f\n",
+			usp,
+			ds.PeakSpeedup(core.MustConfig("8w1")),
+			ds.PeakSpeedup(core.MustConfig("4w2")),
+			ds.PeakSpeedup(core.MustConfig("1w8")))
+	}
+
+	fmt.Println("\n== budget sweep: best design at 0.13 um vs area budget")
+	base := core.DefaultWorkbenchParams()
+	base.Loops = *loops
+	suite, err := core.Workbench(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := core.Technologies()[2] // 0.13 um
+	fmt.Printf("%-8s %-14s %9s %7s\n", "budget", "best", "speed-up", "% die")
+	for _, budget := range []float64{0.05, 0.10, 0.15, 0.20, 0.30} {
+		ds := core.NewDesignSpaceBudget(suite, budget)
+		top := ds.TopFive(tech)
+		if len(top) == 0 {
+			fmt.Printf("%-8.2f %-14s\n", budget, "(nothing fits)")
+			continue
+		}
+		best := top[0]
+		fmt.Printf("%-8.2f %-14s %9.2f %6.1f%%\n",
+			budget, best.Label(), ds.Speedup(best), 100*best.DieFraction(tech))
+	}
+	fmt.Println("\nA tighter budget trims ports before bits: the best design widens.")
+}

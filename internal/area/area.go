@@ -1,0 +1,147 @@
+// Package area implements the silicon cost models of the paper's
+// Section 4.1: multiported register cell dimensions, register file and FPU
+// area, and the SIA technology projections that decide which configurations
+// are implementable in each generation.
+//
+// # Register cell model
+//
+// The paper describes the layout forces on a multiported register cell:
+// each port adds a select line to the cell height; each read port adds a
+// data line and an access transistor to the width; each write port adds two
+// of each. In λ units that yields the linear model
+//
+//	width  = 14*(R + 2W) + 8
+//	height = max(41, 8*(R + W) + 17)
+//
+// (the 41λ height floor is the minimum pitch of the storage cell itself —
+// the pass transistors and power rails set it before port wiring does),
+// which reproduces the paper's Table 2 exactly for the 1R1W, 2R1W, 5R3W and
+// 10R6W cells. The published 20R12W cell (568x257) is about 10% smaller in
+// each dimension than the linear extrapolation (624x273) — large cells
+// apparently amortize some routing in the authors' layouts; we keep the
+// mechanistic model everywhere and document the deviation (EXPERIMENTS.md),
+// which slightly penalizes the most replicated configurations and therefore
+// does not affect who wins.
+//
+// # FPU area
+//
+// A general-purpose FPU (multiplier + adder + divider, the MIPS R10000 FPU)
+// occupies 12 mm² at 0.25 µm = 192e6 λ². A configuration XwY performs
+// 2*X*Y basic operations per cycle and therefore carries 2*X*Y FPU-
+// equivalents — the paper notes that equal-factor configurations have equal
+// FPU cost.
+package area
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// CellDims returns the width and height in λ of a register cell with the
+// given port counts.
+func CellDims(reads, writes int) (w, h int) {
+	if reads < 0 || writes < 0 || reads+writes == 0 {
+		panic(fmt.Sprintf("area: invalid port counts %dR %dW", reads, writes))
+	}
+	w = 14*(reads+2*writes) + 8
+	h = 8*(reads+writes) + 17
+	if h < 41 {
+		h = 41 // storage-cell pitch floor (see the package comment)
+	}
+	return w, h
+}
+
+// CellArea returns the area in λ² of a register cell.
+func CellArea(reads, writes int) int {
+	w, h := CellDims(reads, writes)
+	return w * h
+}
+
+// FPUUnitArea is the area of one width-1 general-purpose FPU in λ²
+// (12 mm² at 0.25 µm, from the MIPS R10000 die [Olukotun et al.]).
+const FPUUnitArea = 192e6
+
+// FPUArea returns the FPU area of a configuration in λ²: 2*X*Y width-1
+// FPU equivalents.
+func FPUArea(c machine.Config) float64 {
+	return float64(2*c.Buses*c.Width) * FPUUnitArea
+}
+
+// RFArea returns the register file area in λ² for a configuration with
+// regs registers partitioned into n blocks. Every block holds a full copy
+// of all registers (regs x 64*width bits) with all write ports but only
+// 1/n of the read ports (Section 4.2). The surrounding decoders and sense
+// amplifiers are under 5% of the cell array (Lee) and are not counted,
+// matching the paper's Table 3 arithmetic.
+func RFArea(c machine.Config, regs, partitions int) float64 {
+	reads, writes := c.PartitionPorts(partitions)
+	cell := CellArea(reads, writes)
+	bits := regs * machine.WordBits * c.Width
+	return float64(partitions) * float64(cell) * float64(bits)
+}
+
+// Total returns RF + FPU area in λ² — the cost the paper budgets against
+// 10-20% of the die.
+func Total(c machine.Config, regs, partitions int) float64 {
+	return RFArea(c, regs, partitions) + FPUArea(c)
+}
+
+// Technology is one SIA roadmap generation (the paper's Table 1, from the
+// 1994 National Technology Roadmap for Semiconductors).
+type Technology struct {
+	// Year of the generation.
+	Year int
+	// Lambda is the feature size in µm.
+	Lambda float64
+	// DieMM2 is the projected die size in mm².
+	DieMM2 int
+	// ChipLambda2 is the die capacity in λ² (λ²-per-chip, Table 1 row 3).
+	ChipLambda2 float64
+}
+
+// String renders the generation by its feature size, as the paper does.
+func (t Technology) String() string { return fmt.Sprintf("%.2fum", t.Lambda) }
+
+// SIA lists the five generations of Table 1.
+func SIA() []Technology {
+	return []Technology{
+		{Year: 1998, Lambda: 0.25, DieMM2: 300, ChipLambda2: 4800e6},
+		{Year: 2001, Lambda: 0.18, DieMM2: 360, ChipLambda2: 11111e6},
+		{Year: 2004, Lambda: 0.13, DieMM2: 430, ChipLambda2: 25443e6},
+		{Year: 2007, Lambda: 0.10, DieMM2: 520, ChipLambda2: 52000e6},
+		{Year: 2010, Lambda: 0.07, DieMM2: 620, ChipLambda2: 126530e6},
+	}
+}
+
+// TechnologyByLambda returns the generation with the given feature size.
+func TechnologyByLambda(lambda float64) (Technology, bool) {
+	for _, t := range SIA() {
+		if t.Lambda == lambda {
+			return t, true
+		}
+	}
+	return Technology{}, false
+}
+
+// DefaultBudget is the fraction of the die the paper allots to the FPUs
+// plus the register file when deciding implementability (Section 5.1).
+const DefaultBudget = 0.20
+
+// Implementable reports whether the configuration's FPUs + RF fit within
+// the budget fraction of the generation's die.
+func Implementable(c machine.Config, regs, partitions int, tech Technology, budget float64) bool {
+	return Total(c, regs, partitions) <= budget*tech.ChipLambda2
+}
+
+// FirstImplementable returns the earliest SIA generation (smallest index)
+// in which the configuration fits the budget, or ok=false if none does —
+// the content of the paper's Table 5.
+func FirstImplementable(c machine.Config, regs, partitions int, budget float64) (Technology, bool) {
+	for _, t := range SIA() {
+		if Implementable(c, regs, partitions, t, budget) {
+			return t, true
+		}
+	}
+	return Technology{}, false
+}

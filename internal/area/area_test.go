@@ -1,0 +1,230 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func cfg(s string) machine.Config {
+	c, err := machine.ParseConfig(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestCellDimsTable2 pins the paper's Table 2 for the cells the linear
+// model reproduces exactly, and documents the known deviation at 20R12W.
+func TestCellDimsTable2(t *testing.T) {
+	cases := []struct {
+		r, w   int
+		cw, ch int
+	}{
+		{1, 1, 50, 41},
+		{2, 1, 64, 41},
+		{5, 3, 162, 81},
+		{10, 6, 316, 145},
+	}
+	for _, c := range cases {
+		w, h := CellDims(c.r, c.w)
+		if w != c.cw || h != c.ch {
+			t.Errorf("CellDims(%dR,%dW) = %dx%d, want %dx%d (Table 2)",
+				c.r, c.w, w, h, c.cw, c.ch)
+		}
+	}
+	// 20R12W: paper 568x257; the mechanistic model extrapolates ~10%
+	// larger per dimension. Pin the model value so silent drift is caught.
+	w, h := CellDims(20, 12)
+	if w != 624 || h != 273 {
+		t.Errorf("CellDims(20R,12W) = %dx%d, want 624x273 (documented deviation)", w, h)
+	}
+}
+
+func TestCellAreaRelativeTable2(t *testing.T) {
+	// Table 2's relative-area row (1, 1.28, 6.4, 22.35) for the exact cells.
+	base := float64(CellArea(1, 1))
+	rel := func(r, w int) float64 { return float64(CellArea(r, w)) / base }
+	if got := rel(1, 1); got != 1 {
+		t.Errorf("relative(1R1W) = %v", got)
+	}
+	for _, c := range []struct {
+		r, w int
+		want float64
+	}{
+		{2, 1, 1.28},
+		{5, 3, 6.4},
+		{10, 6, 22.35},
+	} {
+		got := rel(c.r, c.w)
+		if got < c.want*0.99 || got > c.want*1.01 {
+			t.Errorf("relative(%dR%dW) = %.2f, want %.2f", c.r, c.w, got, c.want)
+		}
+	}
+}
+
+func TestCellDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CellDims(0,0) must panic")
+		}
+	}()
+	CellDims(0, 0)
+}
+
+// TestRFAreaTable3 pins the paper's Table 3: RF area of 4w1, 2w2 and 1w4
+// with 64 registers. 2w2 and 1w4 use cells the model matches exactly; 4w1
+// carries the documented 20R12W deviation.
+func TestRFAreaTable3(t *testing.T) {
+	cases := []struct {
+		cfg       string
+		wantE6    float64
+		tolerance float64
+	}{
+		{"1w4", 215e6, 0.01}, // paper: 215e6, exact cell
+		{"2w2", 375e6, 0.01}, // paper: 375e6, exact cell
+		{"4w1", 598e6, 0.18}, // paper: 598e6 with their 568x257 cell; ours is ~17% larger
+	}
+	for _, c := range cases {
+		got := RFArea(cfg(c.cfg), 64, 1)
+		lo, hi := c.wantE6*(1-c.tolerance), c.wantE6*(1+c.tolerance)
+		if got < lo || got > hi {
+			t.Errorf("RFArea(%s, 64) = %.0fe6, want %.0fe6 within %.0f%%",
+				c.cfg, got/1e6, c.wantE6/1e6, 100*c.tolerance)
+		}
+	}
+	// The ordering the paper highlights: widening is cheaper at equal
+	// factor.
+	a4w1 := RFArea(cfg("4w1"), 64, 1)
+	a2w2 := RFArea(cfg("2w2"), 64, 1)
+	a1w4 := RFArea(cfg("1w4"), 64, 1)
+	if !(a4w1 > a2w2 && a2w2 > a1w4) {
+		t.Errorf("area ordering broken: 4w1=%.0f 2w2=%.0f 1w4=%.0f", a4w1, a2w2, a1w4)
+	}
+}
+
+// TestFPUAreaEqualFactor pins the paper's observation that equal-factor
+// configurations have identical FPU cost.
+func TestFPUAreaEqualFactor(t *testing.T) {
+	want := 8 * FPUUnitArea // factor 4: 2*4 FPU equivalents
+	for _, s := range []string{"4w1", "2w2", "1w4"} {
+		if got := FPUArea(cfg(s)); got != want {
+			t.Errorf("FPUArea(%s) = %g, want %g", s, got, want)
+		}
+	}
+	if got := FPUArea(cfg("1w1")); got != 2*FPUUnitArea {
+		t.Errorf("FPUArea(1w1) = %g", got)
+	}
+}
+
+func TestSIATable1(t *testing.T) {
+	sia := SIA()
+	if len(sia) != 5 {
+		t.Fatalf("%d generations, want 5", len(sia))
+	}
+	wantLambda := []float64{0.25, 0.18, 0.13, 0.10, 0.07}
+	wantChip := []float64{4800e6, 11111e6, 25443e6, 52000e6, 126530e6}
+	for i, tech := range sia {
+		if tech.Lambda != wantLambda[i] {
+			t.Errorf("gen %d lambda = %v", i, tech.Lambda)
+		}
+		if tech.ChipLambda2 != wantChip[i] {
+			t.Errorf("gen %d chip = %v", i, tech.ChipLambda2)
+		}
+	}
+	// Capacity grows monotonically.
+	for i := 1; i < len(sia); i++ {
+		if sia[i].ChipLambda2 <= sia[i-1].ChipLambda2 {
+			t.Error("chip capacity must grow")
+		}
+	}
+	if _, ok := TechnologyByLambda(0.13); !ok {
+		t.Error("0.13 must exist")
+	}
+	if _, ok := TechnologyByLambda(0.5); ok {
+		t.Error("0.5 must not exist")
+	}
+}
+
+// TestPartitionAreaGrowth reproduces Figure 6's area behaviour: the total
+// RF area grows super-linearly (exponential-like) with the partition count
+// but stays modest at 2 blocks.
+func TestPartitionAreaGrowth(t *testing.T) {
+	c := cfg("8w1")
+	base := RFArea(c, 64, 1)
+	prevRatio := 1.0
+	prevGrowth := 0.0
+	for _, n := range []int{2, 4, 8} {
+		ratio := RFArea(c, 64, n) / base
+		if ratio <= prevRatio {
+			t.Errorf("partition %d: area ratio %.2f did not grow", n, ratio)
+		}
+		growth := ratio - prevRatio
+		if growth <= prevGrowth {
+			t.Errorf("partition %d: growth %.2f not accelerating", n, growth)
+		}
+		prevRatio, prevGrowth = ratio, growth
+	}
+	// 2-partitioning is cheap (paper: "a slight increase in area").
+	if r := RFArea(c, 64, 2) / base; r > 1.25 {
+		t.Errorf("2-partition ratio = %.2f, want <= 1.25", r)
+	}
+	// 8-partitioning roughly doubles the area (Figure 6 shows ~2x).
+	if r := RFArea(c, 64, 8) / base; r < 1.6 || r > 2.8 {
+		t.Errorf("8-partition ratio = %.2f, want ~2x", r)
+	}
+}
+
+// TestImplementable pins spot values of Table 5.
+func TestImplementable(t *testing.T) {
+	t025, _ := TechnologyByLambda(0.25)
+	t018, _ := TechnologyByLambda(0.18)
+	t007, _ := TechnologyByLambda(0.07)
+
+	// 1w1 fits every RF size at 0.25 µm.
+	for _, regs := range machine.RegFileSizes {
+		if !Implementable(cfg("1w1"), regs, 1, t025, DefaultBudget) {
+			t.Errorf("1w1 %d-RF must fit 0.25um", regs)
+		}
+	}
+	// 2w1 with 32/64 registers fits 0.25; with 128/256 it needs 0.18
+	// (Table 5 row 2w1).
+	if !Implementable(cfg("2w1"), 64, 1, t025, DefaultBudget) {
+		t.Error("2w1 64-RF must fit 0.25um")
+	}
+	if Implementable(cfg("2w1"), 128, 1, t025, DefaultBudget) {
+		t.Error("2w1 128-RF must not fit 0.25um")
+	}
+	if !Implementable(cfg("2w1"), 256, 1, t018, DefaultBudget) {
+		t.Error("2w1 256-RF must fit 0.18um")
+	}
+	// 16w1 256-RF unpartitioned does not fit even 0.07 µm (Table 5 shows
+	// symbol 5 = not implementable).
+	if Implementable(cfg("16w1"), 256, 1, t007, DefaultBudget) {
+		t.Error("16w1 256-RF must not fit 0.07um")
+	}
+
+	tech, ok := FirstImplementable(cfg("1w1"), 32, 1, DefaultBudget)
+	if !ok || tech.Lambda != 0.25 {
+		t.Errorf("FirstImplementable(1w1,32) = %v, %v", tech, ok)
+	}
+	if _, ok := FirstImplementable(cfg("16w1"), 256, 1, DefaultBudget); ok {
+		t.Error("16w1 256-RF unpartitioned must be unimplementable everywhere")
+	}
+}
+
+// TestWideningCheaperAcrossFactors: at every factor, total area decreases
+// as replication shifts to widening (the paper's core cost argument).
+func TestWideningCheaperAcrossFactors(t *testing.T) {
+	for factor := 2; factor <= 16; factor *= 2 {
+		configs := machine.ConfigsWithFactor(factor)
+		for i := 1; i < len(configs); i++ {
+			a := Total(configs[i-1], 128, 1)
+			b := Total(configs[i], 128, 1)
+			if b >= a {
+				t.Errorf("Total(%v)=%.0f not below Total(%v)=%.0f",
+					configs[i], b, configs[i-1], a)
+			}
+		}
+	}
+}

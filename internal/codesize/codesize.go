@@ -1,0 +1,88 @@
+// Package codesize implements the static code size model of the paper's
+// Section 4.3 (Figure 7).
+//
+// In a VLIW, the instruction word has one slot per issue unit: X memory
+// slots and 2X FPU slots. A wide operation encodes in a single slot (one
+// opcode, one address), so the word length depends only on the replication
+// degree X, not on the width Y — this is widening's code-size advantage.
+// A configuration XwY needs instruction words of 3X slots, so at equal
+// factor the word of 4w1 is twice as long as 2w2's and four times 1w4's.
+//
+// The metric is the code footprint per unit of work: the kernel of a
+// width-Y configuration covers Y source iterations, so its footprint is
+// (II_u / Y) instruction words of 3X slots per source iteration. This
+// per-work normalization is what the paper's motivation (instruction cache
+// miss rate) measures, and it is what makes the bars of Figure 7 near 1/2
+// and 1/4 at each halving of X: the word shrinks with X while the
+// instruction count per unit of work grows only by widening's lost
+// versatility.
+package codesize
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/widen"
+)
+
+// SlotBits is the encoding width of one operation slot. The exact value
+// cancels in all relative comparisons.
+const SlotBits = 32
+
+// WordBits returns the VLIW instruction word length in bits for a
+// configuration: one slot per bus and per FPU. A wide operation fills one
+// slot, so the word length depends on X only.
+func WordBits(c machine.Config) int {
+	return (c.Buses + c.FPUs()) * SlotBits
+}
+
+// LoopKernelBits returns the loop's kernel code footprint in bits per
+// source iteration on the configuration: the per-unrolled-iteration II (at
+// the ILP limit) over the width, times the word length.
+func LoopKernelBits(l *ddg.Loop, c machine.Config, model machine.CycleModel) float64 {
+	tl, _ := widen.Transform(l, c.Width)
+	ii := tl.MII(model, c.Buses, c.FPUs())
+	return float64(ii) / float64(c.Width) * float64(WordBits(c))
+}
+
+// SuiteBits returns the total per-iteration kernel footprint of a loop
+// suite on the configuration.
+func SuiteBits(loops []*ddg.Loop, c machine.Config, model machine.CycleModel) float64 {
+	var total float64
+	for _, l := range loops {
+		total += LoopKernelBits(l, c, model)
+	}
+	return total
+}
+
+// Row is one bar of Figure 7.
+type Row struct {
+	Config machine.Config
+	// Bits is the suite's total kernel footprint per source iteration.
+	Bits float64
+	// Rel is the footprint relative to the most replicated configuration
+	// of the same factor (Xw1), the paper's normalization.
+	Rel float64
+}
+
+// Compare computes Figure 7: for every configuration, the suite code
+// footprint relative to the equal-factor fully replicated configuration.
+func Compare(loops []*ddg.Loop, configs []machine.Config, model machine.CycleModel) []Row {
+	refs := map[int]float64{}
+	for _, c := range configs {
+		if c.Width == 1 {
+			refs[c.Factor()] = SuiteBits(loops, c, model)
+		}
+	}
+	rows := make([]Row, 0, len(configs))
+	for _, c := range configs {
+		bits := SuiteBits(loops, c, model)
+		ref, ok := refs[c.Factor()]
+		if !ok {
+			repl := machine.Config{Buses: c.Factor(), Width: 1}
+			ref = SuiteBits(loops, repl, model)
+			refs[c.Factor()] = ref
+		}
+		rows = append(rows, Row{Config: c, Bits: bits, Rel: bits / ref})
+	}
+	return rows
+}

@@ -1,0 +1,111 @@
+package codesize
+
+import (
+	"testing"
+
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+)
+
+func cfg(s string) machine.Config {
+	c, err := machine.ParseConfig(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestWordBits(t *testing.T) {
+	cases := map[string]int{
+		"1w1": 3 * SlotBits,
+		"2w1": 6 * SlotBits,
+		"1w2": 3 * SlotBits, // widening does not lengthen the word
+		"4w1": 12 * SlotBits,
+		"2w2": 6 * SlotBits,
+		"1w4": 3 * SlotBits,
+	}
+	for s, want := range cases {
+		if got := WordBits(cfg(s)); got != want {
+			t.Errorf("WordBits(%s) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestLoopKernelBits(t *testing.T) {
+	daxpy := loopgen.KernelByName("daxpy")
+	// On 1w1, daxpy's MII = 3 (3 mem ops on 1 bus): 3 words per iteration.
+	got := LoopKernelBits(daxpy, cfg("1w1"), machine.FourCycle)
+	if want := float64(3 * 3 * SlotBits); got != want {
+		t.Errorf("daxpy kernel on 1w1 = %v bits/iter, want %v", got, want)
+	}
+	// On 1w2 (fully compactable) the unrolled II stays 3 while covering 2
+	// iterations: half the footprint per iteration.
+	got2 := LoopKernelBits(daxpy, cfg("1w2"), machine.FourCycle)
+	if got2 != got/2 {
+		t.Errorf("daxpy kernel on 1w2 = %v bits/iter, want %v", got2, got/2)
+	}
+}
+
+// TestFigure7Shape: widened configurations use substantially less static
+// code than equal-factor replicated ones; the word-length ratio (1/2 per
+// halving of X) dominates, eroded slightly by widening's extra cycles.
+func TestFigure7Shape(t *testing.T) {
+	p := loopgen.Defaults()
+	p.Loops = 200
+	loops, err := loopgen.Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []machine.Config{
+		cfg("2w1"), cfg("1w2"),
+		cfg("4w1"), cfg("2w2"), cfg("1w4"),
+		cfg("8w1"), cfg("4w2"), cfg("2w4"), cfg("1w8"),
+	}
+	rows := Compare(loops, configs, machine.FourCycle)
+	rel := map[string]float64{}
+	for _, r := range rows {
+		rel[r.Config.String()] = r.Rel
+		t.Logf("code size %-5s rel=%.3f (%.0f bits/iter)", r.Config, r.Rel, r.Bits)
+	}
+	// Xw1 bars are the reference.
+	for _, s := range []string{"2w1", "4w1", "8w1"} {
+		if rel[s] != 1.0 {
+			t.Errorf("rel(%s) = %v, want 1", s, rel[s])
+		}
+	}
+	// Halving X roughly halves the size; widening's lost versatility eats
+	// some of it back. Band: [0.45, 0.95] per halving step.
+	steps := []struct{ small, big string }{
+		{"1w2", "2w1"},
+		{"2w2", "4w1"}, {"1w4", "2w2"},
+		{"4w2", "8w1"}, {"2w4", "4w2"}, {"1w8", "2w4"},
+	}
+	for _, s := range steps {
+		ratio := rel[s.small] / rel[s.big]
+		if ratio < 0.45 || ratio > 0.95 {
+			t.Errorf("size(%s)/size(%s) = %.2f, want in [0.45, 0.95]", s.small, s.big, ratio)
+		}
+	}
+	// The fully widened factor-8 configuration sits near the paper's
+	// 0.125-0.25 band.
+	if rel["1w8"] < 0.125 || rel["1w8"] > 0.45 {
+		t.Errorf("rel(1w8) = %.3f, want in [0.125, 0.45]", rel["1w8"])
+	}
+}
+
+func TestCompareComputesMissingReference(t *testing.T) {
+	p := loopgen.Defaults()
+	p.Loops = 20
+	loops, err := loopgen.Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only widened configs passed: references computed on demand.
+	rows := Compare(loops, []machine.Config{cfg("1w4")}, machine.FourCycle)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Rel <= 0 || rows[0].Rel >= 1 {
+		t.Errorf("rel(1w4) = %v, want in (0,1)", rows[0].Rel)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMustConfig(t *testing.T) {
+	c := MustConfig("4w2")
+	if c.Buses != 4 || c.Width != 2 {
+		t.Errorf("MustConfig = %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustConfig on garbage must panic")
+		}
+	}()
+	MustConfig("bogus")
+}
+
+func TestKernelAccess(t *testing.T) {
+	if Kernel("daxpy") == nil {
+		t.Fatal("daxpy missing")
+	}
+	if Kernel("unknown") != nil {
+		t.Fatal("unknown kernel must be nil")
+	}
+	if len(Kernels()) < 15 {
+		t.Fatalf("kernel library too small: %d", len(Kernels()))
+	}
+}
+
+func TestScheduleLoopQuickstart(t *testing.T) {
+	rep, err := ScheduleLoop(Kernel("daxpy"), MustConfig("2w2"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.II < 1 {
+		t.Errorf("II = %d", rep.II)
+	}
+	if rep.CyclesPerIteration != float64(rep.II)/2 {
+		t.Errorf("CyclesPerIteration = %v for II %d", rep.CyclesPerIteration, rep.II)
+	}
+	if rep.Registers < 1 || rep.Registers > 64 {
+		t.Errorf("Registers = %d", rep.Registers)
+	}
+	if rep.Registers < rep.MaxLive {
+		t.Errorf("Registers %d below MaxLive %d", rep.Registers, rep.MaxLive)
+	}
+	out := rep.Format()
+	for _, want := range []string{"2w2", "II=", "cycles/iteration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	if err := rep.Schedule.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleLoopErrors(t *testing.T) {
+	if _, err := ScheduleLoop(nil, MustConfig("1w1"), 32); err == nil {
+		t.Error("nil loop must error")
+	}
+	bad := Config{Buses: 0, Width: 1}
+	if _, err := ScheduleLoop(Kernel("daxpy"), bad, 32); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestScheduleLoopUnschedulable(t *testing.T) {
+	// Two live accumulators cannot fit one register (recurrence values are
+	// not spillable).
+	loops, err := Workbench(func() WorkbenchParams {
+		p := DefaultWorkbenchParams()
+		p.Loops = 1
+		return p
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = loops
+	// Use a crafted case via the kernels: ddot + a 1-register file.
+	_, err = ScheduleLoop(Kernel("ddot"), MustConfig("1w1"), 1)
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("err = %v, want ErrUnschedulable", err)
+	}
+}
+
+func TestRegisterRequirement(t *testing.T) {
+	r11, err := RegisterRequirement(Kernel("fir8"), MustConfig("1w1"), CycleModel{Z: 4, StoreLat: 1, ArithLat: 4, DivLat: 19, SqrtLat: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r81, err := RegisterRequirement(Kernel("fir8"), MustConfig("8w1"), CycleModel{Z: 4, StoreLat: 1, ArithLat: 4, DivLat: 19, SqrtLat: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r81 < r11 {
+		t.Errorf("more resources must not lower the requirement: 1w1=%d 8w1=%d", r11, r81)
+	}
+}
+
+func TestDesignSpaceSmoke(t *testing.T) {
+	p := DefaultWorkbenchParams()
+	p.Loops = 30
+	loops, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDesignSpace(loops)
+	if s := ds.PeakSpeedup(MustConfig("1w1")); s != 1 {
+		t.Errorf("PeakSpeedup(1w1) = %v", s)
+	}
+	pt := ds.Evaluate(MustConfig("2w2"), 64, 2)
+	if !pt.OK {
+		t.Fatal("2w2(64:2) must evaluate")
+	}
+	if sp := ds.Speedup(pt); sp <= 0 {
+		t.Errorf("speedup = %v", sp)
+	}
+	techs := Technologies()
+	if len(techs) != 5 {
+		t.Fatalf("%d technologies", len(techs))
+	}
+	top := ds.TopFive(techs[1])
+	if len(top) == 0 {
+		t.Fatal("no top-five points at 0.18um")
+	}
+	if len(ds.Implementable(techs[0])) == 0 {
+		t.Fatal("no implementable points at 0.25um")
+	}
+}
+
+func TestBudgetVariant(t *testing.T) {
+	p := DefaultWorkbenchParams()
+	p.Loops = 10
+	loops, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := NewDesignSpaceBudget(loops, 0.10)
+	loose := NewDesignSpaceBudget(loops, 0.20)
+	tech := Technologies()[0]
+	if len(tight.Implementable(tech)) >= len(loose.Implementable(tech)) {
+		t.Error("tighter budget must admit fewer points")
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	if tc := RelativeAccessTime(MustConfig("1w1"), 32, 1); tc != 1 {
+		t.Errorf("baseline Tc = %v", tc)
+	}
+	if a := AreaCost(MustConfig("1w1"), 32, 1); a <= 0 {
+		t.Errorf("area = %v", a)
+	}
+	// Widening cheaper than replication at equal factor.
+	if AreaCost(MustConfig("1w4"), 64, 1) >= AreaCost(MustConfig("4w1"), 64, 1) {
+		t.Error("1w4 must cost less than 4w1")
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	res, err := RunExperiment("table1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "table1" || len(res.Render()) == 0 {
+		t.Errorf("unexpected result %v", res)
+	}
+	if _, err := RunExperiment("nope", 5); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	if len(ExperimentIDs()) != 13 {
+		t.Errorf("%d experiment ids", len(ExperimentIDs()))
+	}
+}

@@ -1,0 +1,413 @@
+package ddg
+
+import (
+	"math"
+
+	"repro/internal/machine"
+)
+
+// SCCs returns the strongly connected components of the dependence graph
+// (Tarjan's algorithm, iterative). Components are returned in reverse
+// topological order of the condensation (consumers before producers);
+// within a component, node order is unspecified but deterministic.
+func (l *Loop) SCCs() [][]int {
+	n := len(l.Ops)
+	succs := l.Succs()
+
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		counter int
+		out     [][]int
+	)
+
+	type frame struct {
+		v    int
+		edge int
+	}
+	var call []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.edge < len(succs[f.v]) {
+				w := succs[f.v][f.edge].To
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop f.v.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := &call[len(call)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}
+
+// RecMII returns the recurrence-constrained lower bound on the initiation
+// interval under the given cycle model: the maximum over all dependence
+// cycles C of ceil(latency(C) / distance(C)). Loops without recurrences
+// have RecMII 1. The bound is computed per strongly connected component by
+// binary search on II with a positive-cycle feasibility test (an II is
+// feasible iff no cycle has total latency > II * total distance).
+func (l *Loop) RecMII(model machine.CycleModel) int {
+	best := 1
+	for _, comp := range l.SCCs() {
+		if len(comp) == 1 {
+			// A single node is recurrent only through a self edge.
+			v := comp[0]
+			self := false
+			for _, e := range l.Edges {
+				if e.From == v && e.To == v {
+					self = true
+					break
+				}
+			}
+			if !self {
+				continue
+			}
+		}
+		if m := l.recMIIOfComponent(comp, model); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// recMIIOfComponent binary-searches the smallest II for which the component
+// has no positive cycle under weights lat(from) - II*dist.
+func (l *Loop) recMIIOfComponent(comp []int, model machine.CycleModel) int {
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	type wedge struct {
+		from, to, lat, dist int
+	}
+	var edges []wedge
+	hi := 1
+	for _, e := range l.Edges {
+		if inComp[e.From] && inComp[e.To] {
+			lat := model.Latency(l.Ops[e.From].Kind)
+			edges = append(edges, wedge{e.From, e.To, lat, e.Dist})
+			hi += lat
+		}
+	}
+	if len(edges) == 0 {
+		return 1
+	}
+
+	// feasible reports whether no cycle has positive weight at this II.
+	// Bellman-Ford longest-path from an arbitrary component node; with all
+	// nodes initialized to 0 (super-source), a relaxation succeeding on the
+	// n-th pass betrays a positive cycle.
+	dist := make(map[int]int, len(comp))
+	feasible := func(ii int) bool {
+		for _, v := range comp {
+			dist[v] = 0
+		}
+		for pass := 0; pass < len(comp); pass++ {
+			changed := false
+			for _, e := range edges {
+				w := e.lat - ii*e.dist
+				if d := dist[e.from] + w; d > dist[e.to] {
+					dist[e.to] = d
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		// One more pass: any further relaxation means a positive cycle.
+		for _, e := range edges {
+			w := e.lat - ii*e.dist
+			if dist[e.from]+w > dist[e.to] {
+				return false
+			}
+		}
+		return true
+	}
+
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ResMII returns the resource-constrained lower bound on the initiation
+// interval for a machine with the given bus and FPU counts: the most
+// heavily used resource class determines the bound. Non-pipelined
+// operations (div, sqrt) occupy a unit for their full latency; successive
+// iterations' instances round-robin across the replicated units (the
+// reservation table models this with multi-unit reservations), so the
+// bound is purely slot-count based. A single non-pipelined operation on a
+// single unit still needs its full occupancy within one II, which the
+// ceiling division captures.
+func (l *Loop) ResMII(model machine.CycleModel, buses, fpus int) int {
+	memSlots, fpuSlots := 0, 0
+	for _, op := range l.Ops {
+		occ := model.Occupancy(op.Kind)
+		if op.Kind.IsMem() {
+			memSlots += occ
+		} else {
+			fpuSlots += occ
+		}
+	}
+	mii := 1
+	if buses > 0 && memSlots > 0 {
+		if m := ceilDiv(memSlots, buses); m > mii {
+			mii = m
+		}
+	}
+	if fpus > 0 && fpuSlots > 0 {
+		if m := ceilDiv(fpuSlots, fpus); m > mii {
+			mii = m
+		}
+	}
+	return mii
+}
+
+// MII returns max(ResMII, RecMII): the lower bound on the initiation
+// interval (the "perfect schedule" performance of Section 3.1).
+func (l *Loop) MII(model machine.CycleModel, buses, fpus int) int {
+	res := l.ResMII(model, buses, fpus)
+	rec := l.RecMII(model)
+	if rec > res {
+		return rec
+	}
+	return res
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ASAP returns, for each operation, its earliest start time considering
+// only distance-0 dependences (the acyclic core of the body). Used by the
+// scheduler's ordering phase.
+func (l *Loop) ASAP(model machine.CycleModel) []int {
+	n := len(l.Ops)
+	asap := make([]int, n)
+	order := l.topoOrderZeroDist()
+	for _, v := range order {
+		for _, e := range l.Edges {
+			if e.Dist != 0 || e.To != v {
+				continue
+			}
+			if t := asap[e.From] + model.Latency(l.Ops[e.From].Kind); t > asap[v] {
+				asap[v] = t
+			}
+		}
+	}
+	return asap
+}
+
+// ALAP returns, for each operation, its latest start time such that the
+// distance-0 critical path still fits in the same span as ASAP's.
+func (l *Loop) ALAP(model machine.CycleModel) []int {
+	asap := l.ASAP(model)
+	span := 0
+	for _, t := range asap {
+		if t > span {
+			span = t
+		}
+	}
+	n := len(l.Ops)
+	alap := make([]int, n)
+	for i := range alap {
+		alap[i] = span
+	}
+	order := l.topoOrderZeroDist()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range l.Edges {
+			if e.Dist != 0 || e.From != v {
+				continue
+			}
+			if t := alap[e.To] - model.Latency(l.Ops[v].Kind); t < alap[v] {
+				alap[v] = t
+			}
+		}
+	}
+	return alap
+}
+
+// CriticalPath returns the length in cycles of the longest distance-0
+// dependence chain (the body's schedule length lower bound at infinite
+// resources, before overlap).
+func (l *Loop) CriticalPath(model machine.CycleModel) int {
+	asap := l.ASAP(model)
+	best := 0
+	for v, t := range asap {
+		end := t + model.Latency(l.Ops[v].Kind)
+		if end > best {
+			best = end
+		}
+	}
+	return best
+}
+
+// topoOrderZeroDist returns a topological order of the distance-0 subgraph.
+// Validate guarantees it is a DAG.
+func (l *Loop) topoOrderZeroDist() []int {
+	n := len(l.Ops)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for _, e := range l.Edges {
+		if e.Dist == 0 {
+			adj[e.From] = append(adj[e.From], e.To)
+			indeg[e.To]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// RecurrenceOps returns the set of operations that belong to a dependence
+// cycle (a strongly connected component of size > 1, or a self edge).
+// These operations are never compactable: their instances in consecutive
+// iterations are serially dependent.
+func (l *Loop) RecurrenceOps() map[int]bool {
+	rec := make(map[int]bool)
+	for _, comp := range l.SCCs() {
+		if len(comp) > 1 {
+			for _, v := range comp {
+				rec[v] = true
+			}
+		}
+	}
+	for _, e := range l.Edges {
+		if e.From == e.To {
+			rec[e.From] = true
+		}
+	}
+	return rec
+}
+
+// Stats summarizes a loop for workload reporting.
+type Stats struct {
+	Ops         int
+	MemOps      int
+	FPUOps      int
+	Recurrent   int     // operations on dependence cycles
+	Compactable int     // operations eligible for widening (see widen pkg)
+	RecMII4     int     // RecMII under the 4-cycles model
+	AvgDist     float64 // mean dependence distance over edges
+}
+
+// ComputeStats returns summary statistics for the loop under the 4-cycle
+// model.
+func (l *Loop) ComputeStats() Stats {
+	s := Stats{Ops: len(l.Ops)}
+	rec := l.RecurrenceOps()
+	for _, op := range l.Ops {
+		if op.Kind.IsMem() {
+			s.MemOps++
+		} else {
+			s.FPUOps++
+		}
+		if rec[op.ID] {
+			s.Recurrent++
+		}
+		if compactableOp(op, rec) {
+			s.Compactable++
+		}
+	}
+	s.RecMII4 = l.RecMII(machine.FourCycle)
+	if len(l.Edges) > 0 {
+		sum := 0
+		for _, e := range l.Edges {
+			sum += e.Dist
+		}
+		s.AvgDist = float64(sum) / float64(len(l.Edges))
+	}
+	return s
+}
+
+// compactableOp is the widening eligibility rule shared with the widen
+// package: unit-stride memory accesses and non-recurrent, non-scalar
+// arithmetic compact; everything else does not.
+func compactableOp(op Op, rec map[int]bool) bool {
+	if op.Scalar || rec[op.ID] {
+		return false
+	}
+	if op.Kind.IsMem() {
+		return op.Stride == 1
+	}
+	return true
+}
+
+// Compactable reports whether operation id may be packed into wide
+// operations when the loop is widened.
+func (l *Loop) Compactable(id int) bool {
+	return compactableOp(l.Ops[id], l.RecurrenceOps())
+}
+
+// MaxTripWeight is a guard against overflow when weighting cycles by trip
+// counts; generators keep trip counts far below it.
+const MaxTripWeight = math.MaxInt64 / 1024

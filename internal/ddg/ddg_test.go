@@ -1,0 +1,601 @@
+package ddg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// chainLoop builds load -> add -> store with no recurrence.
+func chainLoop() *Loop {
+	b := NewBuilder("chain", 100)
+	ld := b.Load(1, "ld")
+	ad := b.Op(machine.Add, "add")
+	st := b.Store(1, "st")
+	b.Flow(ld, ad, 0)
+	b.Flow(ad, st, 0)
+	return b.Build()
+}
+
+// accumLoop builds a reduction: load -> add, add -> add (dist 1), add -> store.
+func accumLoop() *Loop {
+	b := NewBuilder("accum", 100)
+	ld := b.Load(1, "ld")
+	ad := b.Op(machine.Add, "acc")
+	st := b.Store(1, "st")
+	b.Flow(ld, ad, 0)
+	b.Flow(ad, ad, 1)
+	b.Flow(ad, st, 0)
+	return b.Build()
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	l := chainLoop()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("chain loop invalid: %v", err)
+	}
+	if l.NumOps() != 3 {
+		t.Errorf("NumOps = %d, want 3", l.NumOps())
+	}
+	counts := l.Counts()
+	if counts[machine.Load] != 1 || counts[machine.Store] != 1 || counts[machine.Add] != 1 {
+		t.Errorf("Counts = %v", counts)
+	}
+	lanes := l.LaneCounts()
+	if lanes[machine.Add] != 1 {
+		t.Errorf("LaneCounts = %v", lanes)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Loop { return chainLoop() }
+
+	l := base()
+	l.Trips = 0
+	if err := l.Validate(); err == nil {
+		t.Error("zero trips must fail")
+	}
+
+	l = base()
+	l.Ops[1].ID = 5
+	if err := l.Validate(); err == nil {
+		t.Error("non-dense IDs must fail")
+	}
+
+	l = base()
+	l.Ops[1].Kind = machine.OpKind(42)
+	if err := l.Validate(); err == nil {
+		t.Error("invalid kind must fail")
+	}
+
+	l = base()
+	l.Ops[1].Lanes = 0
+	if err := l.Validate(); err == nil {
+		t.Error("zero lanes must fail")
+	}
+
+	l = base()
+	l.Ops[1].Lanes = 2 // non-wide with 2 lanes
+	if err := l.Validate(); err == nil {
+		t.Error("non-wide multi-lane op must fail")
+	}
+
+	l = base()
+	l.Edges = append(l.Edges, Edge{From: 0, To: 99, Dist: 0})
+	if err := l.Validate(); err == nil {
+		t.Error("out-of-range edge must fail")
+	}
+
+	l = base()
+	l.Edges = append(l.Edges, Edge{From: 0, To: 1, Dist: -1})
+	if err := l.Validate(); err == nil {
+		t.Error("negative distance must fail")
+	}
+
+	l = base()
+	l.Edges = append(l.Edges, Edge{From: 1, To: 1, Dist: 0})
+	if err := l.Validate(); err == nil {
+		t.Error("distance-0 self edge must fail")
+	}
+
+	// Edges sourced at stores are memory-ordering dependences and are
+	// legal (spill code relies on them).
+	l = base()
+	l.Edges = append(l.Edges, Edge{From: 2, To: 0, Dist: 1})
+	if err := l.Validate(); err != nil {
+		t.Errorf("store-sourced ordering edge must be legal: %v", err)
+	}
+
+	// Intra-iteration cycle: a -> b -> a, both dist 0.
+	l = base()
+	l.Edges = append(l.Edges, Edge{From: 1, To: 0, Dist: 0})
+	if err := l.Validate(); err == nil {
+		t.Error("distance-0 cycle must fail")
+	}
+}
+
+func TestBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build of an invalid loop must panic")
+		}
+	}()
+	b := NewBuilder("bad", 1)
+	a := b.Op(machine.Add, "a")
+	c := b.Op(machine.Add, "c")
+	b.Flow(a, c, 0)
+	b.Flow(c, a, 0) // zero-distance cycle
+	b.Build()
+}
+
+func TestClone(t *testing.T) {
+	l := accumLoop()
+	c := l.Clone()
+	c.Ops[0].Stride = 7
+	c.Edges[0].Dist = 9
+	c.Name = "other"
+	if l.Ops[0].Stride == 7 || l.Edges[0].Dist == 9 || l.Name == "other" {
+		t.Error("Clone must deep-copy ops and edges")
+	}
+}
+
+func TestSCCsChain(t *testing.T) {
+	l := chainLoop()
+	comps := l.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("chain has %d SCCs, want 3 singletons", len(comps))
+	}
+	for _, c := range comps {
+		if len(c) != 1 {
+			t.Errorf("chain SCC %v should be a singleton", c)
+		}
+	}
+}
+
+func TestSCCsRecurrence(t *testing.T) {
+	// Two-node recurrence a -> b (0), b -> a (1), plus an independent node.
+	b := NewBuilder("rec", 10)
+	a := b.Op(machine.Add, "a")
+	c := b.Op(machine.Mul, "b")
+	d := b.Op(machine.Add, "free")
+	_ = d
+	b.Flow(a, c, 0)
+	b.Flow(c, a, 1)
+	l := b.Build()
+
+	comps := l.SCCs()
+	var big []int
+	for _, comp := range comps {
+		if len(comp) == 2 {
+			big = comp
+		}
+	}
+	if big == nil {
+		t.Fatalf("expected a 2-node SCC, got %v", comps)
+	}
+	got := map[int]bool{big[0]: true, big[1]: true}
+	if !got[a] || !got[c] {
+		t.Errorf("SCC = %v, want {%d,%d}", big, a, c)
+	}
+	// All nodes covered exactly once.
+	seen := map[int]int{}
+	for _, comp := range comps {
+		for _, v := range comp {
+			seen[v]++
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("SCCs cover %d nodes, want 3", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("node %d appears in %d SCCs", v, n)
+		}
+	}
+}
+
+func TestRecMIIChain(t *testing.T) {
+	l := chainLoop()
+	if got := l.RecMII(machine.FourCycle); got != 1 {
+		t.Errorf("chain RecMII = %d, want 1", got)
+	}
+}
+
+func TestRecMIISelfLoop(t *testing.T) {
+	// Accumulator: add feeding itself at distance 1; RecMII = latency.
+	for _, m := range machine.CycleModels() {
+		l := accumLoop()
+		want := m.Latency(machine.Add)
+		if got := l.RecMII(m); got != want {
+			t.Errorf("%v accum RecMII = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestRecMIIDistanceTwo(t *testing.T) {
+	// Self edge with distance 2: RecMII = ceil(lat/2).
+	b := NewBuilder("d2", 10)
+	a := b.Op(machine.Add, "a")
+	b.Flow(a, a, 2)
+	l := b.Build()
+	if got := l.RecMII(machine.FourCycle); got != 2 {
+		t.Errorf("RecMII = %d, want 2", got)
+	}
+	if got := l.RecMII(machine.ThreeCycle); got != 2 { // ceil(3/2)
+		t.Errorf("RecMII = %d, want 2", got)
+	}
+	if got := l.RecMII(machine.OneCycle); got != 1 {
+		t.Errorf("RecMII = %d, want 1", got)
+	}
+}
+
+func TestRecMIITwoNodeCycle(t *testing.T) {
+	// a -> b (dist 0), b -> a (dist 1): cycle latency = lat(a)+lat(b) = 8
+	// under the 4-cycle model, distance 1 -> RecMII 8.
+	b := NewBuilder("cyc", 10)
+	a := b.Op(machine.Add, "a")
+	c := b.Op(machine.Mul, "b")
+	b.Flow(a, c, 0)
+	b.Flow(c, a, 1)
+	l := b.Build()
+	if got := l.RecMII(machine.FourCycle); got != 8 {
+		t.Errorf("RecMII = %d, want 8", got)
+	}
+}
+
+func TestRecMIIDivRecurrence(t *testing.T) {
+	// Division in a distance-1 recurrence: RecMII = 19 under 4-cycles.
+	b := NewBuilder("divrec", 10)
+	d := b.Op(machine.Div, "d")
+	b.Flow(d, d, 1)
+	l := b.Build()
+	if got := l.RecMII(machine.FourCycle); got != 19 {
+		t.Errorf("RecMII = %d, want 19", got)
+	}
+	if got := l.RecMII(machine.OneCycle); got != 5 {
+		t.Errorf("RecMII = %d, want 5", got)
+	}
+}
+
+func TestRecMIIPicksWorstCycle(t *testing.T) {
+	// Two independent recurrences: add self (RecMII 4) and a 3-op mul cycle
+	// with distance 2 (latency 12, RecMII 6).
+	b := NewBuilder("worst", 10)
+	a := b.Op(machine.Add, "a")
+	b.Flow(a, a, 1)
+	m1 := b.Op(machine.Mul, "m1")
+	m2 := b.Op(machine.Mul, "m2")
+	m3 := b.Op(machine.Mul, "m3")
+	b.Flow(m1, m2, 0)
+	b.Flow(m2, m3, 0)
+	b.Flow(m3, m1, 2)
+	l := b.Build()
+	if got := l.RecMII(machine.FourCycle); got != 6 {
+		t.Errorf("RecMII = %d, want 6", got)
+	}
+}
+
+func TestResMII(t *testing.T) {
+	// 4 loads, 1 store, 6 adds, 1 div on 1 bus + 2 FPUs under 4-cycles:
+	// mem slots = 5, fpu slots = 6 + 19 = 25 -> ResMII = max(5, ceil(25/2)) = 13.
+	b := NewBuilder("res", 10)
+	for i := 0; i < 4; i++ {
+		b.Load(1, "")
+	}
+	b.Store(1, "")
+	adds := make([]int, 6)
+	for i := range adds {
+		adds[i] = b.Op(machine.Add, "")
+	}
+	b.Op(machine.Div, "")
+	l := b.Build()
+
+	// Slot counts rule: the divide contributes its 19-cycle occupancy to
+	// the FPU class (successive divides round-robin across units, so there
+	// is no per-op floor).
+	if got := l.ResMII(machine.FourCycle, 1, 2); got != 13 {
+		t.Errorf("ResMII(1,2) = %d, want 13", got)
+	}
+	// With 8 FPUs: ceil(25/8) = 4 < mem 5.
+	if got := l.ResMII(machine.FourCycle, 1, 8); got != 5 {
+		t.Errorf("ResMII(1,8) = %d, want 5", got)
+	}
+	// 1-cycle model: fpu slots = 6 + 5 = 11 -> ceil(11/2) = 6.
+	if got := l.ResMII(machine.OneCycle, 1, 2); got != 6 {
+		t.Errorf("ResMII(1,2, 1-cycle) = %d, want 6", got)
+	}
+	// Without the divide the slot counts rule: mem 5 on 1 bus.
+	b2 := NewBuilder("res2", 10)
+	for i := 0; i < 4; i++ {
+		b2.Load(1, "")
+	}
+	b2.Store(1, "")
+	for i := 0; i < 6; i++ {
+		b2.Op(machine.Add, "")
+	}
+	l2 := b2.Build()
+	if got := l2.ResMII(machine.FourCycle, 1, 2); got != 5 {
+		t.Errorf("ResMII without div = %d, want 5", got)
+	}
+	if got := l2.ResMII(machine.FourCycle, 1, 1); got != 6 {
+		t.Errorf("ResMII(1,1) without div = %d, want 6", got)
+	}
+}
+
+func TestMII(t *testing.T) {
+	l := accumLoop()
+	// ResMII on 1 bus, 2 FPUs: mem 2, fpu 1 -> 2. RecMII = 4. MII = 4.
+	if got := l.MII(machine.FourCycle, 1, 2); got != 4 {
+		t.Errorf("MII = %d, want 4", got)
+	}
+	// On the 1-cycle model RecMII = 1, ResMII = 2.
+	if got := l.MII(machine.OneCycle, 1, 2); got != 2 {
+		t.Errorf("MII = %d, want 2", got)
+	}
+}
+
+func TestASAPALAP(t *testing.T) {
+	l := chainLoop()
+	asap := l.ASAP(machine.FourCycle)
+	// ld at 0, add at 4, st at 8.
+	want := []int{0, 4, 8}
+	for i, w := range want {
+		if asap[i] != w {
+			t.Errorf("ASAP[%d] = %d, want %d", i, asap[i], w)
+		}
+	}
+	alap := l.ALAP(machine.FourCycle)
+	for i := range asap {
+		if alap[i] < asap[i] {
+			t.Errorf("ALAP[%d] = %d < ASAP %d", i, alap[i], asap[i])
+		}
+	}
+	// The chain is the critical path: ASAP == ALAP everywhere.
+	for i := range asap {
+		if alap[i] != asap[i] {
+			t.Errorf("critical chain: ALAP[%d] = %d, want %d", i, alap[i], asap[i])
+		}
+	}
+}
+
+func TestASAPIgnoresRecurrenceEdges(t *testing.T) {
+	l := accumLoop()
+	asap := l.ASAP(machine.FourCycle)
+	if asap[1] != 4 { // after the load only; the dist-1 self edge is ignored
+		t.Errorf("ASAP[add] = %d, want 4", asap[1])
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	l := chainLoop()
+	// ld(4) + add(4) + st(1) = 9.
+	if got := l.CriticalPath(machine.FourCycle); got != 9 {
+		t.Errorf("CriticalPath = %d, want 9", got)
+	}
+	if got := l.CriticalPath(machine.OneCycle); got != 3 {
+		t.Errorf("CriticalPath = %d, want 3", got)
+	}
+}
+
+func TestRecurrenceOps(t *testing.T) {
+	l := accumLoop()
+	rec := l.RecurrenceOps()
+	if !rec[1] {
+		t.Error("accumulator add must be recurrent")
+	}
+	if rec[0] || rec[2] {
+		t.Errorf("load/store must not be recurrent: %v", rec)
+	}
+}
+
+func TestCompactable(t *testing.T) {
+	l := accumLoop()
+	if !l.Compactable(0) {
+		t.Error("unit-stride load must be compactable")
+	}
+	if l.Compactable(1) {
+		t.Error("recurrent add must not be compactable")
+	}
+	if !l.Compactable(2) {
+		t.Error("unit-stride store must be compactable")
+	}
+
+	b := NewBuilder("strides", 10)
+	s2 := b.Load(2, "stride2")
+	s0 := b.Load(0, "invariant")
+	sc := b.Op(machine.Mul, "scalar")
+	b.Scalar(sc)
+	l2 := b.Build()
+	if l2.Compactable(s2) {
+		t.Error("stride-2 load must not be compactable")
+	}
+	if l2.Compactable(s0) {
+		t.Error("stride-0 load must not be compactable")
+	}
+	if l2.Compactable(sc) {
+		t.Error("scalar op must not be compactable")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	l := accumLoop()
+	s := l.ComputeStats()
+	if s.Ops != 3 || s.MemOps != 2 || s.FPUOps != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Recurrent != 1 || s.Compactable != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.RecMII4 != 4 {
+		t.Errorf("RecMII4 = %d, want 4", s.RecMII4)
+	}
+	if s.AvgDist <= 0 {
+		t.Errorf("AvgDist = %v, want > 0 (one dist-1 edge)", s.AvgDist)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	l := accumLoop()
+	d := l.DOT()
+	for _, want := range []string{"digraph", "n0", "n1", "n2", "style=dashed"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, d)
+		}
+	}
+}
+
+// randomLoop builds a random valid loop: a DAG of dist-0 edges plus random
+// recurrence back-edges with dist >= 1.
+func randomLoop(rng *rand.Rand, nOps int) *Loop {
+	b := NewBuilder("rand", int64(rng.Intn(1000)+1))
+	kinds := []machine.OpKind{machine.Load, machine.Store, machine.Add, machine.Mul, machine.Div, machine.Sqrt}
+	ids := make([]int, nOps)
+	for i := 0; i < nOps; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		switch k {
+		case machine.Load:
+			ids[i] = b.Load(rng.Intn(3), "")
+		case machine.Store:
+			ids[i] = b.Store(rng.Intn(3), "")
+		default:
+			ids[i] = b.Op(k, "")
+		}
+	}
+	// Forward dist-0 edges keep the zero-dist subgraph acyclic. Stores
+	// cannot be producers.
+	for i := 0; i < nOps; i++ {
+		for j := i + 1; j < nOps; j++ {
+			if rng.Float64() < 0.15 && b.loop.Ops[ids[i]].Kind.HasResult() {
+				b.Flow(ids[i], ids[j], 0)
+			}
+		}
+	}
+	// Backward edges with dist >= 1.
+	for i := 0; i < nOps; i++ {
+		for j := 0; j <= i; j++ {
+			if rng.Float64() < 0.05 && b.loop.Ops[ids[i]].Kind.HasResult() {
+				b.Flow(ids[i], ids[j], 1+rng.Intn(3))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Property: SCCs partition the node set.
+func TestSCCsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		l := randomLoop(rng, 3+rng.Intn(25))
+		seen := map[int]int{}
+		for _, comp := range l.SCCs() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		if len(seen) != l.NumOps() {
+			t.Fatalf("trial %d: SCCs cover %d of %d nodes", trial, len(seen), l.NumOps())
+		}
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: node %d in %d components", trial, v, n)
+			}
+		}
+	}
+}
+
+// Property: RecMII is an exact cycle bound — for every edge-weighted cycle
+// found by brute force on small graphs, RecMII >= ceil(lat/dist), and
+// RecMII is achieved by some cycle.
+func TestRecMIIBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		l := randomLoop(rng, 3+rng.Intn(6))
+		got := l.RecMII(machine.FourCycle)
+		want := bruteRecMII(l, machine.FourCycle)
+		if got != want {
+			t.Fatalf("trial %d: RecMII = %d, brute force = %d\n%s", trial, got, want, l.DOT())
+		}
+	}
+}
+
+// bruteRecMII enumerates all elementary cycles via DFS (fine for <= 9 nodes).
+func bruteRecMII(l *Loop, m machine.CycleModel) int {
+	best := 1
+	n := l.NumOps()
+	succs := l.Succs()
+	var dfs func(start, v, lat, dist int, visited []bool)
+	dfs = func(start, v, lat, dist int, visited []bool) {
+		for _, e := range succs[v] {
+			nl := lat + m.Latency(l.Ops[v].Kind)
+			nd := dist + e.Dist
+			if e.To == start {
+				if nd > 0 {
+					if r := ceilDiv(nl, nd); r > best {
+						best = r
+					}
+				}
+				continue
+			}
+			if e.To < start || visited[e.To] {
+				continue // enumerate cycles by smallest node = start
+			}
+			visited[e.To] = true
+			dfs(start, e.To, nl, nd, visited)
+			visited[e.To] = false
+		}
+	}
+	for s := 0; s < n; s++ {
+		visited := make([]bool, n)
+		visited[s] = true
+		dfs(s, s, 0, 0, visited)
+	}
+	return best
+}
+
+// Property: RecMII never grows when the cycle model shrinks latencies, and
+// ALAP >= ASAP everywhere.
+func TestAnalysisMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	models := machine.CycleModels() // 4, 3, 2, 1
+	for trial := 0; trial < 40; trial++ {
+		l := randomLoop(rng, 4+rng.Intn(20))
+		prev := 1 << 30
+		for _, m := range models {
+			r := l.RecMII(m)
+			if r > prev {
+				t.Fatalf("trial %d: RecMII grew from %d to %d as model shrank", trial, prev, r)
+			}
+			prev = r
+			asap := l.ASAP(m)
+			alap := l.ALAP(m)
+			for v := range asap {
+				if alap[v] < asap[v] {
+					t.Fatalf("trial %d: ALAP[%d]=%d < ASAP=%d", trial, v, alap[v], asap[v])
+				}
+			}
+		}
+	}
+}
+
+// Property: ResMII scales down (weakly) as resources scale up, and MII is
+// the max of its two components.
+func TestResMIIScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		l := randomLoop(rng, 4+rng.Intn(20))
+		prev := 1 << 30
+		for x := 1; x <= 16; x *= 2 {
+			r := l.ResMII(machine.FourCycle, x, 2*x)
+			if r > prev {
+				t.Fatalf("ResMII grew with more resources: %d -> %d", prev, r)
+			}
+			prev = r
+			mii := l.MII(machine.FourCycle, x, 2*x)
+			if mii < r || mii < l.RecMII(machine.FourCycle) {
+				t.Fatalf("MII %d below a component bound", mii)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package ddg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the loop as a Graphviz digraph for debugging. Recurrence
+// edges (distance >= 1) are dashed and labelled with their distance.
+func (l *Loop) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", l.Name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, op := range l.Ops {
+		label := op.Name
+		if label == "" {
+			label = fmt.Sprintf("%s%d", op.Kind, op.ID)
+		}
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s\\n%s", label, op.Kind))
+		if op.Kind.IsMem() {
+			attrs += " shape=box"
+			if op.Stride == 1 {
+				attrs += " style=filled fillcolor=lightblue"
+			}
+		}
+		if op.Wide {
+			attrs += " peripheries=2"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", op.ID, attrs)
+	}
+	for _, e := range l.Edges {
+		if e.Dist > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed label=\"%d\"];\n", e.From, e.To, e.Dist)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

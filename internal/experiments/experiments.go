@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each driver returns typed rows plus a terminal rendering;
+// the per-experiment index in DESIGN.md maps the drivers to the paper's
+// artifacts, and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/loopgen"
+	"repro/internal/perfcost"
+)
+
+// Result is a regenerated paper artifact.
+type Result interface {
+	// ID is the experiment identifier (e.g. "fig2", "table5").
+	ID() string
+	// Title describes the artifact.
+	Title() string
+	// Render returns the terminal representation.
+	Render() string
+}
+
+// Context carries the workbench-backed engine the drivers share.
+type Context struct {
+	Engine *perfcost.Engine
+}
+
+// NewContext builds a context over a fresh workbench. loops == 0 uses the
+// paper's 1180; a smaller count trades fidelity for speed (benchmarks use
+// it).
+func NewContext(loops int, seed int64) (*Context, error) {
+	p := loopgen.Defaults()
+	if loops > 0 {
+		p.Loops = loops
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	suite, err := loopgen.Workbench(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Engine: perfcost.New(suite, nil)}, nil
+}
+
+// runner produces one artifact.
+type runner struct {
+	id    string
+	title string
+	run   func(*Context) (Result, error)
+}
+
+var registry = []runner{
+	{"table1", "SIA technology predictions", func(*Context) (Result, error) { return Table1() }},
+	{"table2", "Multiported register cell dimensions", func(*Context) (Result, error) { return Table2() }},
+	{"table3", "Register file area of equal-factor configurations", func(*Context) (Result, error) { return Table3() }},
+	{"table4", "Relative register file access time", func(*Context) (Result, error) { return Table4() }},
+	{"table5", "Implementable configurations per technology", func(*Context) (Result, error) { return Table5() }},
+	{"table6", "Cycle models", func(*Context) (Result, error) { return Table6() }},
+	{"fig2", "ILP limits of replication and widening", func(c *Context) (Result, error) { return Fig2(c.Engine) }},
+	{"fig3", "Spill effects under finite register files", func(c *Context) (Result, error) { return Fig3(c.Engine) }},
+	{"fig4", "Area cost of the configurations", func(*Context) (Result, error) { return Fig4() }},
+	{"fig6", "Register file partitioning trade-off", func(*Context) (Result, error) { return Fig6() }},
+	{"fig7", "Relative code size", func(c *Context) (Result, error) { return Fig7(c.Engine.Loops()) }},
+	{"fig8", "Performance/cost trade-offs at 0.25um", func(c *Context) (Result, error) { return Fig8(c.Engine) }},
+	{"fig9", "Top five configurations per technology", func(c *Context) (Result, error) { return Fig9(c.Engine) }},
+}
+
+// IDs lists the experiment identifiers in run order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, r := range registry {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+// Titles maps identifiers to descriptions.
+func Titles() map[string]string {
+	m := make(map[string]string, len(registry))
+	for _, r := range registry {
+		m[r.id] = r.title
+	}
+	return m
+}
+
+// Run regenerates one artifact by id.
+func (c *Context) Run(id string) (Result, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.run(c)
+		}
+	}
+	ids := IDs()
+	sort.Strings(ids)
+	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// RunAll regenerates every artifact in registry order.
+func (c *Context) RunAll() ([]Result, error) {
+	out := make([]Result, 0, len(registry))
+	for _, r := range registry {
+		res, err := r.run(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

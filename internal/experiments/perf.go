@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/area"
+	"repro/internal/machine"
+	"repro/internal/perfcost"
+	"repro/internal/textplot"
+)
+
+// ------------------------------------------------------------------ fig 8
+
+// Fig8Panel is one of the four panels of Figure 8: a named set of design
+// points with their speed-up (vs 1w1(32:1)) and area.
+type Fig8Panel struct {
+	Name   string
+	Points []Fig8Point
+}
+
+// Fig8Point is one design point of a panel.
+type Fig8Point struct {
+	Point   perfcost.Point
+	Speedup float64
+}
+
+// Fig8Result reproduces the four individual-effect studies of Section 5.3
+// under the fixed 0.25 µm timing model.
+type Fig8Result struct {
+	Panels []Fig8Panel
+}
+
+// Fig8 evaluates the paper's four panels:
+//
+//	a) 1w1 as the register file grows;
+//	b) replication only, 128 registers, maximally partitioned;
+//	c) widening only, 128 registers;
+//	d) the four ways to build a peak-8 machine with 128 registers.
+func Fig8(e *perfcost.Engine) (*Fig8Result, error) {
+	cfg := func(s string) machine.Config {
+		c, err := machine.ParseConfig(s)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	panels := []struct {
+		name   string
+		points []struct {
+			cfg         string
+			regs, parts int
+		}
+	}{
+		{"a: 1w1, growing RF", []struct {
+			cfg         string
+			regs, parts int
+		}{
+			{"1w1", 32, 1}, {"1w1", 64, 1}, {"1w1", 128, 1}, {"1w1", 256, 1},
+		}},
+		{"b: replication only (128-RF)", []struct {
+			cfg         string
+			regs, parts int
+		}{
+			{"1w1", 128, 1}, {"2w1", 128, 2}, {"4w1", 128, 4}, {"8w1", 128, 8},
+		}},
+		{"c: widening only (128-RF)", []struct {
+			cfg         string
+			regs, parts int
+		}{
+			{"1w1", 128, 1}, {"1w2", 128, 1}, {"1w4", 128, 1}, {"1w8", 128, 1},
+		}},
+		{"d: equal peak 8 (128-RF)", []struct {
+			cfg         string
+			regs, parts int
+		}{
+			{"8w1", 128, 8}, {"4w2", 128, 4}, {"2w4", 128, 2}, {"1w8", 128, 1},
+		}},
+	}
+	res := &Fig8Result{}
+	for _, p := range panels {
+		panel := Fig8Panel{Name: p.name}
+		for _, pt := range p.points {
+			point := e.Evaluate(cfg(pt.cfg), pt.regs, pt.parts)
+			panel.Points = append(panel.Points, Fig8Point{
+				Point:   point,
+				Speedup: e.Speedup(point),
+			})
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+func (*Fig8Result) ID() string { return "fig8" }
+func (*Fig8Result) Title() string {
+	return "Figure 8: individual effects on performance/cost (0.25um timing)"
+}
+
+// Panel returns a panel by its letter prefix ("a".."d").
+func (r *Fig8Result) Panel(letter string) *Fig8Panel {
+	for i := range r.Panels {
+		if strings.HasPrefix(r.Panels[i].Name, letter) {
+			return &r.Panels[i]
+		}
+	}
+	return nil
+}
+
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	for _, panel := range r.Panels {
+		fmt.Fprintf(&b, "panel %s\n", panel.Name)
+		rows := [][]string{{"point", "Tc", "z", "speed-up", "area (1e6 λ²)", "scheduled"}}
+		var pts []textplot.Point
+		for _, p := range panel.Points {
+			status := "ok"
+			if !p.Point.OK {
+				status = fmt.Sprintf("%d loops failed", p.Point.Failures)
+			}
+			rows = append(rows, []string{
+				p.Point.Label(),
+				fmt.Sprintf("%.2f", p.Point.Tc),
+				fmt.Sprint(p.Point.Z),
+				fmt.Sprintf("%.2f", p.Speedup),
+				fmt.Sprintf("%.0f", p.Point.Area/1e6),
+				status,
+			})
+			if p.Point.OK {
+				pts = append(pts, textplot.Point{
+					Label: p.Point.Label(),
+					X:     p.Speedup,
+					Y:     p.Point.Area / 1e6,
+				})
+			}
+		}
+		b.WriteString(textplot.Table(rows))
+		b.WriteString(textplot.Scatter(pts, 48, 10, "speed-up", "area (1e6 λ²)"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------------------ fig 9
+
+// Fig9Tech is the ranking for one technology generation.
+type Fig9Tech struct {
+	Tech area.Technology
+	Top  []Fig9Point
+}
+
+// Fig9Point is one ranked design point.
+type Fig9Point struct {
+	Point       perfcost.Point
+	Speedup     float64
+	DieFraction float64
+}
+
+// Fig9Result reproduces the top-five study across the five SIA
+// generations (fixed 0.25 µm timing, as in the paper).
+type Fig9Result struct {
+	Techs []Fig9Tech
+}
+
+// Fig9 ranks the implementable design points of every generation.
+func Fig9(e *perfcost.Engine) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, tech := range area.SIA() {
+		entry := Fig9Tech{Tech: tech}
+		for _, p := range e.TopFive(tech, 16) {
+			entry.Top = append(entry.Top, Fig9Point{
+				Point:       p,
+				Speedup:     e.Speedup(p),
+				DieFraction: p.DieFraction(tech),
+			})
+		}
+		res.Techs = append(res.Techs, entry)
+	}
+	return res, nil
+}
+
+func (*Fig9Result) ID() string { return "fig9" }
+func (*Fig9Result) Title() string {
+	return "Figure 9: top five configurations per technology (speed-up vs % die)"
+}
+
+// Top returns the ranking for a feature size, or nil.
+func (r *Fig9Result) Top(lambda float64) []Fig9Point {
+	for _, t := range r.Techs {
+		if t.Tech.Lambda == lambda {
+			return t.Top
+		}
+	}
+	return nil
+}
+
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	for _, t := range r.Techs {
+		fmt.Fprintf(&b, "technology %s (%d)\n", t.Tech, t.Tech.Year)
+		rows := [][]string{{"rank", "point", "Tc", "z", "speed-up", "% die"}}
+		var pts []textplot.Point
+		for i, p := range t.Top {
+			rows = append(rows, []string{
+				fmt.Sprint(i + 1),
+				p.Point.Label(),
+				fmt.Sprintf("%.2f", p.Point.Tc),
+				fmt.Sprint(p.Point.Z),
+				fmt.Sprintf("%.2f", p.Speedup),
+				fmt.Sprintf("%.1f", 100*p.DieFraction),
+			})
+			pts = append(pts, textplot.Point{
+				Label: p.Point.Label(),
+				X:     p.Speedup,
+				Y:     100 * p.DieFraction,
+			})
+		}
+		b.WriteString(textplot.Table(rows))
+		b.WriteString(textplot.Scatter(pts, 48, 8, "speed-up", "% die"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestFig7PaperShape(t *testing.T) {
+	c := testContext(t)
+	res, err := Fig7(c.Engine.Loops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := map[string]float64{}
+	for _, row := range res.Rows {
+		rel[row.Config.String()] = row.Rel
+	}
+	for _, s := range []string{"2w1", "4w1", "8w1"} {
+		if rel[s] != 1.0 {
+			t.Errorf("rel(%s) = %v, want 1 (reference)", s, rel[s])
+		}
+	}
+	// Widening shrinks the footprint; full widening approaches the
+	// word-length ratio (paper's log-scale bars at ~1/2, ~1/4, ~1/8).
+	for _, c := range []struct {
+		cfg    string
+		lo, hi float64
+	}{
+		{"1w2", 0.45, 0.75},
+		{"2w2", 0.45, 0.70},
+		{"1w4", 0.25, 0.55},
+		{"4w2", 0.45, 0.65},
+		{"2w4", 0.22, 0.45},
+		{"1w8", 0.12, 0.40},
+	} {
+		if rel[c.cfg] < c.lo || rel[c.cfg] > c.hi {
+			t.Errorf("rel(%s) = %.3f, want in [%.2f, %.2f]", c.cfg, rel[c.cfg], c.lo, c.hi)
+		}
+	}
+	if !strings.Contains(res.Render(), "#") {
+		t.Error("render must contain bars")
+	}
+}
+
+func TestFig8Panels(t *testing.T) {
+	c := testContext(t)
+	res, err := Fig8(c.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 4 {
+		t.Fatalf("%d panels", len(res.Panels))
+	}
+	// Panel a: the first point is the baseline itself.
+	a := res.Panel("a")
+	if a == nil || len(a.Points) != 4 {
+		t.Fatal("panel a malformed")
+	}
+	if a.Points[0].Speedup != 1.0 {
+		t.Errorf("1w1(32:1) speedup = %v, want 1", a.Points[0].Speedup)
+	}
+	// Growing the RF raises the cycle time; with negligible spill at 64+,
+	// performance declines beyond some size (the paper's panel-a story).
+	last := a.Points[len(a.Points)-1]
+	if last.Speedup >= a.Points[1].Speedup {
+		t.Errorf("1w1(256:1) %.2f should underperform 1w1(64:1) %.2f (cycle time)",
+			last.Speedup, a.Points[1].Speedup)
+	}
+	// Panel b: area must grow along the replication sweep.
+	bPanel := res.Panel("b")
+	for i := 1; i < len(bPanel.Points); i++ {
+		if bPanel.Points[i].Point.Area <= bPanel.Points[i-1].Point.Area {
+			t.Error("replication sweep area must grow")
+		}
+	}
+	// Panel d: the pure-replication peak-8 design must not win the panel.
+	d := res.Panel("d")
+	best, bestSp := "", 0.0
+	for _, p := range d.Points {
+		if p.Point.OK && p.Speedup > bestSp {
+			best, bestSp = p.Point.Config.String(), p.Speedup
+		}
+	}
+	if best == "8w1" {
+		t.Errorf("panel d won by pure replication (8w1), contradicting the paper")
+	}
+	t.Log("\n" + res.Render())
+}
+
+// TestFig9PaperConclusion pins Section 6: per technology, the best
+// implementable designs combine replication and widening; the most
+// aggressive pure designs never top the list.
+func TestFig9PaperConclusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 evaluates the full design space")
+	}
+	c := testContext(t)
+	res, err := Fig9(c.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Techs) != 5 {
+		t.Fatalf("%d technologies", len(res.Techs))
+	}
+	for _, tech := range res.Techs {
+		if len(tech.Top) == 0 {
+			t.Errorf("%s: empty top five", tech.Tech)
+			continue
+		}
+		for _, p := range tech.Top {
+			if p.DieFraction > c.Engine.Budget()+1e-9 {
+				t.Errorf("%s: %s exceeds the budget", tech.Tech, p.Point.Label())
+			}
+		}
+	}
+	// From 0.13 µm on, the winner mixes replication and widening.
+	for _, lambda := range []float64{0.13, 0.10, 0.07} {
+		top := res.Top(lambda)
+		if len(top) == 0 {
+			t.Errorf("no winners at %.2f", lambda)
+			continue
+		}
+		w := top[0].Point.Config
+		if w.Buses < 2 || w.Width < 2 {
+			t.Errorf("%.2fum winner %s is not a replication+widening mix", lambda, w)
+		}
+	}
+	// The most aggressive *pure* configurations never win (paper: "none
+	// of the most aggressive configurations are in the top-five"). Mixed
+	// high-factor designs (4w4, 2w8) may appear at the finest nodes —
+	// that only amplifies the paper's combine-both conclusion.
+	for _, tech := range res.Techs {
+		for _, p := range tech.Top {
+			c := p.Point.Config
+			if c.Factor() >= 8 && (c.Width == 1 || c.Buses == 1) {
+				t.Errorf("%s: aggressive pure design %s in the top five", tech.Tech, p.Point.Label())
+			}
+		}
+	}
+	t.Log("\n" + res.Render())
+}
+
+// TestSection6Headline pins the paper's closing numbers in shape: 4w2 with
+// a 128-RF beats 8w1 with a 128-RF (paper: x1.66) in less area (paper:
+// 81%).
+func TestSection6Headline(t *testing.T) {
+	c := testContext(t)
+	e := c.Engine
+	w := e.Evaluate(machine.Config{Buses: 4, Width: 2}, 128, 4)
+	r := e.Evaluate(machine.Config{Buses: 8, Width: 1}, 128, 8)
+	if !w.OK {
+		t.Fatal("4w2(128:4) must schedule")
+	}
+	if w.Area >= r.Area {
+		t.Errorf("4w2 area %.0f must undercut 8w1 %.0f", w.Area, r.Area)
+	}
+	if r.OK {
+		ratio := e.Speedup(w) / e.Speedup(r)
+		t.Logf("4w2(128:4)/8w1(128:8): speed-up ratio %.2f (paper 1.66), area ratio %.2f (paper 0.81)",
+			ratio, w.Area/r.Area)
+		if ratio < 1.1 {
+			t.Errorf("4w2 must clearly beat 8w1 at 128 registers: ratio %.2f", ratio)
+		}
+	} else {
+		t.Logf("8w1(128:8) does not fully schedule; 4w2 wins by forfeit (speed-up %.2f)", e.Speedup(w))
+	}
+}

@@ -1,0 +1,127 @@
+// Package lifetimes computes value lifetimes and register pressure for
+// modulo schedules.
+//
+// Every operation that defines a register result creates one value per
+// iteration. In a width-Y configuration the value occupies one register of
+// width Y whether or not the operation was packed — a non-compacted value
+// simply wastes the upper lanes. This is the register-capacity effect the
+// paper credits for widening's resistance to spill code (Section 3.2).
+//
+// A value is live from the issue cycle of its defining operation until the
+// issue cycle of its last consumer (plus II times the dependence distance
+// for consumers in later iterations). Because the schedule repeats every
+// II cycles, a lifetime of length L contributes floor(L/II) simultaneously
+// live copies in every cycle of the kernel plus one more in L mod II of
+// them; MaxLive — the maximum over the kernel cycles of the number of live
+// values — is the classical lower bound on the registers any allocation
+// needs (Rau et al., PLDI'92; Llosa et al., IJPP'98).
+package lifetimes
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Value is the lifetime of one loop value.
+type Value struct {
+	// Op is the defining operation.
+	Op int
+	// Start is the absolute issue cycle of the definition.
+	Start int
+	// Len is the lifetime length in cycles (>= 1: the destination
+	// register is held at least for the defining cycle).
+	Len int
+	// Uses is the number of consuming operations.
+	Uses int
+}
+
+// End returns the first cycle after the lifetime.
+func (v Value) End() int { return v.Start + v.Len }
+
+// Set holds the lifetimes of all values of a schedule.
+type Set struct {
+	// II is the schedule's initiation interval.
+	II int
+	// Values lists one lifetime per result-producing operation, in
+	// operation order.
+	Values []Value
+}
+
+// Compute derives the lifetimes of a schedule.
+func Compute(s *sched.Schedule) *Set {
+	l := s.Loop
+	set := &Set{II: s.II}
+	succs := l.Succs()
+	for _, op := range l.Ops {
+		if !op.Kind.HasResult() {
+			continue
+		}
+		v := Value{Op: op.ID, Start: s.Time[op.ID], Len: 1}
+		for _, e := range succs[op.ID] {
+			v.Uses++
+			end := s.Time[e.To] + s.II*e.Dist
+			if n := end - v.Start; n > v.Len {
+				v.Len = n
+			}
+		}
+		set.Values = append(set.Values, v)
+	}
+	return set
+}
+
+// Pressure returns the number of live values at each cycle of the kernel
+// (length II).
+func (s *Set) Pressure() []int {
+	p := make([]int, s.II)
+	for _, v := range s.Values {
+		full := v.Len / s.II
+		rem := v.Len % s.II
+		for r := range p {
+			p[r] += full
+		}
+		start := v.Start % s.II
+		for i := 0; i < rem; i++ {
+			p[(start+i)%s.II]++
+		}
+	}
+	return p
+}
+
+// MaxLive returns the maximum number of simultaneously live values — the
+// lower bound on the register requirement.
+func (s *Set) MaxLive() int {
+	max := 0
+	for _, p := range s.Pressure() {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// TotalLen returns the sum of lifetime lengths (a traffic-free aggregate
+// pressure measure: TotalLen / II is the average number of live values).
+func (s *Set) TotalLen() int {
+	sum := 0
+	for _, v := range s.Values {
+		sum += v.Len
+	}
+	return sum
+}
+
+// Validate checks internal consistency.
+func (s *Set) Validate() error {
+	if s.II < 1 {
+		return fmt.Errorf("lifetimes: invalid II %d", s.II)
+	}
+	for _, v := range s.Values {
+		if v.Len < 1 {
+			return fmt.Errorf("lifetimes: value of op %d has length %d", v.Op, v.Len)
+		}
+		if v.Start < 0 {
+			return fmt.Errorf("lifetimes: value of op %d starts at %d", v.Op, v.Start)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package loopgen
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Kernels returns the hand-written library of classic numerical inner
+// loops. They ground the synthetic archetypes in recognizable code and
+// drive the examples: each kernel is the dependence graph a compiler
+// front-end would extract from the named source loop.
+func Kernels() []*ddg.Loop {
+	return []*ddg.Loop{
+		kDaxpy(), kDdot(), kVadd(), kScale(), kTriad(),
+		kStencil3(), kMatvecRow(), kFir8(), kSum(), kL5TriDiag(),
+		kL7StateEq(), kL11PartialSums(), kSpiceDiv(), kNorm2(), kCmul(),
+		kStride2Dot(), kGather(), kHydroL1(),
+	}
+}
+
+// KernelByName returns the kernel with the given name, or nil.
+func KernelByName(name string) *ddg.Loop {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// kDaxpy: y[i] = y[i] + a*x[i]. Two unit-stride loads, one multiply by a
+// loop-invariant scalar, one add, one store. Fully compactable.
+func kDaxpy() *ddg.Loop {
+	b := ddg.NewBuilder("daxpy", 1000)
+	x := b.Load(1, "x[i]")
+	y := b.Load(1, "y[i]")
+	m := b.Op(machine.Mul, "a*x")
+	a := b.Op(machine.Add, "y+ax")
+	st := b.Store(1, "y[i]=")
+	b.Flow(x, m, 0)
+	b.Flow(m, a, 0)
+	b.Flow(y, a, 0)
+	b.Flow(a, st, 0)
+	return b.Build()
+}
+
+// kDdot: s += x[i]*y[i]. The accumulator add closes a distance-1
+// recurrence: RecMII = add latency.
+func kDdot() *ddg.Loop {
+	b := ddg.NewBuilder("ddot", 1000)
+	x := b.Load(1, "x[i]")
+	y := b.Load(1, "y[i]")
+	m := b.Op(machine.Mul, "x*y")
+	acc := b.Op(machine.Add, "s+=")
+	b.Flow(x, m, 0)
+	b.Flow(y, m, 0)
+	b.Flow(m, acc, 0)
+	b.Flow(acc, acc, 1)
+	return b.Build()
+}
+
+// kVadd: c[i] = a[i] + b[i].
+func kVadd() *ddg.Loop {
+	b := ddg.NewBuilder("vadd", 1000)
+	x := b.Load(1, "a[i]")
+	y := b.Load(1, "b[i]")
+	s := b.Op(machine.Add, "a+b")
+	st := b.Store(1, "c[i]=")
+	b.Flow(x, s, 0)
+	b.Flow(y, s, 0)
+	b.Flow(s, st, 0)
+	return b.Build()
+}
+
+// kScale: y[i] = a * x[i].
+func kScale() *ddg.Loop {
+	b := ddg.NewBuilder("scale", 1000)
+	x := b.Load(1, "x[i]")
+	m := b.Op(machine.Mul, "a*x")
+	st := b.Store(1, "y[i]=")
+	b.Flow(x, m, 0)
+	b.Flow(m, st, 0)
+	return b.Build()
+}
+
+// kTriad (STREAM triad): a[i] = b[i] + q*c[i].
+func kTriad() *ddg.Loop {
+	b := ddg.NewBuilder("triad", 1000)
+	c := b.Load(1, "c[i]")
+	bb := b.Load(1, "b[i]")
+	m := b.Op(machine.Mul, "q*c")
+	a := b.Op(machine.Add, "b+qc")
+	st := b.Store(1, "a[i]=")
+	b.Flow(c, m, 0)
+	b.Flow(m, a, 0)
+	b.Flow(bb, a, 0)
+	b.Flow(a, st, 0)
+	return b.Build()
+}
+
+// kStencil3: b[i] = w0*a[i-1] + w1*a[i] + w2*a[i+1]. Three unit-stride
+// loads (a compiler without load reuse issues all three), two multiplies
+// folded as muls plus adds.
+func kStencil3() *ddg.Loop {
+	b := ddg.NewBuilder("stencil3", 500)
+	l0 := b.Load(1, "a[i-1]")
+	l1 := b.Load(1, "a[i]")
+	l2 := b.Load(1, "a[i+1]")
+	m0 := b.Op(machine.Mul, "w0*")
+	m1 := b.Op(machine.Mul, "w1*")
+	m2 := b.Op(machine.Mul, "w2*")
+	a0 := b.Op(machine.Add, "+")
+	a1 := b.Op(machine.Add, "+")
+	st := b.Store(1, "b[i]=")
+	b.Flow(l0, m0, 0)
+	b.Flow(l1, m1, 0)
+	b.Flow(l2, m2, 0)
+	b.Flow(m0, a0, 0)
+	b.Flow(m1, a0, 0)
+	b.Flow(a0, a1, 0)
+	b.Flow(m2, a1, 0)
+	b.Flow(a1, st, 0)
+	return b.Build()
+}
+
+// kMatvecRow: y[j] += A[j][i] * x[i] — the inner loop of a row-major
+// matrix-vector product: a dot-product accumulation.
+func kMatvecRow() *ddg.Loop {
+	b := ddg.NewBuilder("matvec", 800)
+	aij := b.Load(1, "A[j][i]")
+	xi := b.Load(1, "x[i]")
+	m := b.Op(machine.Mul, "A*x")
+	acc := b.Op(machine.Add, "y+=")
+	b.Flow(aij, m, 0)
+	b.Flow(xi, m, 0)
+	b.Flow(m, acc, 0)
+	b.Flow(acc, acc, 1)
+	return b.Build()
+}
+
+// kFir8: an 8-tap FIR filter inner loop, unrolled over taps: 8 loads of
+// the delay line, 8 coefficient multiplies, adder tree, one store.
+func kFir8() *ddg.Loop {
+	b := ddg.NewBuilder("fir8", 400)
+	var prods []int
+	for t := 0; t < 8; t++ {
+		x := b.Load(1, "")
+		m := b.Op(machine.Mul, "")
+		b.Flow(x, m, 0)
+		prods = append(prods, m)
+	}
+	// Adder tree.
+	for len(prods) > 1 {
+		var next []int
+		for i := 0; i+1 < len(prods); i += 2 {
+			a := b.Op(machine.Add, "")
+			b.Flow(prods[i], a, 0)
+			b.Flow(prods[i+1], a, 0)
+			next = append(next, a)
+		}
+		if len(prods)%2 == 1 {
+			next = append(next, prods[len(prods)-1])
+		}
+		prods = next
+	}
+	st := b.Store(1, "y[i]=")
+	b.Flow(prods[0], st, 0)
+	return b.Build()
+}
+
+// kSum: s += x[i] — the plainest reduction.
+func kSum() *ddg.Loop {
+	b := ddg.NewBuilder("sum", 2000)
+	x := b.Load(1, "x[i]")
+	acc := b.Op(machine.Add, "s+=")
+	b.Flow(x, acc, 0)
+	b.Flow(acc, acc, 1)
+	return b.Build()
+}
+
+// kL5TriDiag (Livermore loop 5, tri-diagonal elimination):
+// x[i] = z[i]*(y[i] - x[i-1]). The carried x[i-1] threads a multiply and
+// a subtract: RecMII = add+mul latency.
+func kL5TriDiag() *ddg.Loop {
+	b := ddg.NewBuilder("l5tridiag", 600)
+	z := b.Load(1, "z[i]")
+	y := b.Load(1, "y[i]")
+	sub := b.Op(machine.Add, "y-x'")
+	mul := b.Op(machine.Mul, "z*")
+	st := b.Store(1, "x[i]=")
+	b.Flow(y, sub, 0)
+	b.Flow(mul, sub, 1) // x[i-1] from the previous iteration
+	b.Flow(z, mul, 0)
+	b.Flow(sub, mul, 0)
+	b.Flow(mul, st, 0)
+	return b.Build()
+}
+
+// kL7StateEq (Livermore loop 7 flavour, state equation): a wide parallel
+// expression with many loads and a deep arithmetic tree.
+func kL7StateEq() *ddg.Loop {
+	b := ddg.NewBuilder("l7stateeq", 300)
+	var vals []int
+	for i := 0; i < 6; i++ {
+		vals = append(vals, b.Load(1, ""))
+	}
+	m1 := b.Op(machine.Mul, "")
+	b.Flow(vals[0], m1, 0)
+	b.Flow(vals[1], m1, 0)
+	m2 := b.Op(machine.Mul, "")
+	b.Flow(vals[2], m2, 0)
+	b.Flow(vals[3], m2, 0)
+	a1 := b.Op(machine.Add, "")
+	b.Flow(m1, a1, 0)
+	b.Flow(m2, a1, 0)
+	m3 := b.Op(machine.Mul, "")
+	b.Flow(a1, m3, 0)
+	b.Flow(vals[4], m3, 0)
+	a2 := b.Op(machine.Add, "")
+	b.Flow(m3, a2, 0)
+	b.Flow(vals[5], a2, 0)
+	st := b.Store(1, "")
+	b.Flow(a2, st, 0)
+	return b.Build()
+}
+
+// kL11PartialSums (Livermore loop 11): x[i] = x[i-1] + y[i] — a first
+// order recurrence through a single add.
+func kL11PartialSums() *ddg.Loop {
+	b := ddg.NewBuilder("l11psum", 1000)
+	y := b.Load(1, "y[i]")
+	a := b.Op(machine.Add, "x'+y")
+	st := b.Store(1, "x[i]=")
+	b.Flow(y, a, 0)
+	b.Flow(a, a, 1)
+	b.Flow(a, st, 0)
+	return b.Build()
+}
+
+// kSpiceDiv: the division-bound device-model loop: r[i] = a[i] / b[i],
+// with the non-pipelined divide flooring the II.
+func kSpiceDiv() *ddg.Loop {
+	b := ddg.NewBuilder("spicediv", 200)
+	x := b.Load(1, "a[i]")
+	y := b.Load(1, "b[i]")
+	d := b.Op(machine.Div, "a/b")
+	st := b.Store(1, "r[i]=")
+	b.Flow(x, d, 0)
+	b.Flow(y, d, 0)
+	b.Flow(d, st, 0)
+	return b.Build()
+}
+
+// kNorm2: s += x[i]*x[i] followed (conceptually) by sqrt outside; inside
+// the loop a sqrt of a running expression keeps the non-pipelined unit
+// busy: t[i] = sqrt(x[i]*x[i] + y[i]*y[i]).
+func kNorm2() *ddg.Loop {
+	b := ddg.NewBuilder("norm2", 300)
+	x := b.Load(1, "x[i]")
+	y := b.Load(1, "y[i]")
+	mx := b.Op(machine.Mul, "x*x")
+	my := b.Op(machine.Mul, "y*y")
+	a := b.Op(machine.Add, "+")
+	sq := b.Op(machine.Sqrt, "sqrt")
+	st := b.Store(1, "t[i]=")
+	b.Flow(x, mx, 0)
+	b.Flow(y, my, 0)
+	b.Flow(mx, a, 0)
+	b.Flow(my, a, 0)
+	b.Flow(a, sq, 0)
+	b.Flow(sq, st, 0)
+	return b.Build()
+}
+
+// kCmul: complex multiply c[i] = a[i]*b[i] over interleaved re/im arrays:
+// stride-2 accesses are not compactable — widening gains nothing here.
+func kCmul() *ddg.Loop {
+	b := ddg.NewBuilder("cmul", 500)
+	ar := b.Load(2, "a.re")
+	ai := b.Load(2, "a.im")
+	br := b.Load(2, "b.re")
+	bi := b.Load(2, "b.im")
+	m1 := b.Op(machine.Mul, "ar*br")
+	m2 := b.Op(machine.Mul, "ai*bi")
+	m3 := b.Op(machine.Mul, "ar*bi")
+	m4 := b.Op(machine.Mul, "ai*br")
+	re := b.Op(machine.Add, "re")
+	im := b.Op(machine.Add, "im")
+	sr := b.Store(2, "c.re=")
+	si := b.Store(2, "c.im=")
+	b.Flow(ar, m1, 0)
+	b.Flow(br, m1, 0)
+	b.Flow(ai, m2, 0)
+	b.Flow(bi, m2, 0)
+	b.Flow(ar, m3, 0)
+	b.Flow(bi, m3, 0)
+	b.Flow(ai, m4, 0)
+	b.Flow(br, m4, 0)
+	b.Flow(m1, re, 0)
+	b.Flow(m2, re, 0)
+	b.Flow(m3, im, 0)
+	b.Flow(m4, im, 0)
+	b.Flow(re, sr, 0)
+	b.Flow(im, si, 0)
+	return b.Build()
+}
+
+// kStride2Dot: dot product over every other element — the reduction plus
+// non-unit stride: neither replication-hostile nor widening-friendly.
+func kStride2Dot() *ddg.Loop {
+	b := ddg.NewBuilder("stride2dot", 400)
+	x := b.Load(2, "x[2i]")
+	y := b.Load(2, "y[2i]")
+	m := b.Op(machine.Mul, "x*y")
+	acc := b.Op(machine.Add, "s+=")
+	b.Flow(x, m, 0)
+	b.Flow(y, m, 0)
+	b.Flow(m, acc, 0)
+	b.Flow(acc, acc, 1)
+	return b.Build()
+}
+
+// kGather: y[i] = x[idx[i]] * a — the index load is unit-stride but the
+// gathered load has no fixed stride (stride 0 marks it indirect).
+func kGather() *ddg.Loop {
+	b := ddg.NewBuilder("gather", 300)
+	idx := b.Load(1, "idx[i]")
+	x := b.Load(0, "x[idx]")
+	m := b.Op(machine.Mul, "*a")
+	st := b.Store(1, "y[i]=")
+	b.Flow(idx, x, 0)
+	b.Flow(x, m, 0)
+	b.Flow(m, st, 0)
+	return b.Build()
+}
+
+// kHydroL1 (Livermore loop 1, hydro fragment):
+// x[i] = q + y[i]*(r*z[i+10] + t*z[i+11]).
+func kHydroL1() *ddg.Loop {
+	b := ddg.NewBuilder("hydrol1", 800)
+	y := b.Load(1, "y[i]")
+	z10 := b.Load(1, "z[i+10]")
+	z11 := b.Load(1, "z[i+11]")
+	m1 := b.Op(machine.Mul, "r*z10")
+	m2 := b.Op(machine.Mul, "t*z11")
+	a1 := b.Op(machine.Add, "+")
+	m3 := b.Op(machine.Mul, "y*")
+	a2 := b.Op(machine.Add, "q+")
+	st := b.Store(1, "x[i]=")
+	b.Flow(z10, m1, 0)
+	b.Flow(z11, m2, 0)
+	b.Flow(m1, a1, 0)
+	b.Flow(m2, a1, 0)
+	b.Flow(y, m3, 0)
+	b.Flow(a1, m3, 0)
+	b.Flow(m3, a2, 0)
+	b.Flow(a2, st, 0)
+	return b.Build()
+}

@@ -1,0 +1,434 @@
+// Package loopgen provides the workload for the evaluation: the paper
+// schedules 1180 inner loops extracted from the Perfect Club benchmarks
+// with the Ictíneo tool, accounting for 78% of the suite's execution time.
+// Neither the Perfect Club sources nor Ictíneo are available, so this
+// package synthesizes a workbench with the same aggregate properties the
+// paper's results depend on:
+//
+//   - the split between resource-bound and recurrence-bound loops (which
+//     caps what replication can gain, Fig. 2 upper curve);
+//   - the fraction of non-compactable operations — non-unit-stride or
+//     indirect memory accesses and scalar computations (which caps what
+//     widening can gain, Fig. 2 lower curve);
+//   - operation mixes over loads/stores/adds/muls with occasional
+//     non-pipelined divides and square roots (which set ResMII and the
+//     occupancy floors);
+//   - value lifetimes stretching over one or more iterations (which set
+//     the register pressure that drives Section 3.2's spill results).
+//
+// Loops are generated from a handful of archetypes observed in numerical
+// inner loops (streaming kernels, reductions, first-order recurrences,
+// strided/gather accesses, division-bound bodies), with sizes, strides and
+// trip counts drawn from a seeded deterministic RNG. A separate library of
+// hand-written classic kernels (Kernels) grounds the archetypes and feeds
+// the examples.
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Params controls workbench synthesis. The zero value is not useful; start
+// from Defaults.
+type Params struct {
+	// Loops is the number of loops to generate (the paper uses 1180).
+	Loops int
+	// Seed makes the workbench reproducible.
+	Seed int64
+
+	// StreamFrac, ReduceFrac, RecurFrac, StridedFrac, DivFrac are the
+	// archetype mix; they should sum to at most 1, the remainder becoming
+	// scalar-flavoured streaming loops.
+	StreamFrac  float64
+	ReduceFrac  float64
+	RecurFrac   float64
+	StridedFrac float64
+	DivFrac     float64
+
+	// UnitStrideProb is the probability that a memory access in a
+	// compact-friendly loop has stride 1.
+	UnitStrideProb float64
+	// ScalarProb is the probability that an arithmetic operation is
+	// marked scalar (non-compactable) in compact-friendly loops.
+	ScalarProb float64
+
+	// MinOps and MaxOps bound the body size (operations per iteration).
+	MinOps, MaxOps int
+	// MinTrips and MaxTrips bound the loop trip counts.
+	MinTrips, MaxTrips int64
+}
+
+// Defaults returns the calibrated parameter set: with these values the
+// workbench reproduces the shape of the paper's Figure 2 (replication
+// saturating near 10x, pure widening near 5x, 2wY near 8x — see
+// EXPERIMENTS.md for measured numbers).
+func Defaults() Params {
+	return Params{
+		Loops:          1180,
+		Seed:           1998, // the paper's year; any seed works
+		StreamFrac:     0.52,
+		ReduceFrac:     0.07,
+		RecurFrac:      0.05,
+		StridedFrac:    0.10,
+		DivFrac:        0.05,
+		UnitStrideProb: 0.92,
+		ScalarProb:     0.06,
+		MinOps:         6,
+		MaxOps:         72,
+		MinTrips:       16,
+		MaxTrips:       2048,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Loops < 1 {
+		return fmt.Errorf("loopgen: Loops must be >= 1, got %d", p.Loops)
+	}
+	if p.MinOps < 2 || p.MaxOps < p.MinOps {
+		return fmt.Errorf("loopgen: bad op bounds [%d, %d]", p.MinOps, p.MaxOps)
+	}
+	if p.MinTrips < 1 || p.MaxTrips < p.MinTrips {
+		return fmt.Errorf("loopgen: bad trip bounds [%d, %d]", p.MinTrips, p.MaxTrips)
+	}
+	sum := p.StreamFrac + p.ReduceFrac + p.RecurFrac + p.StridedFrac + p.DivFrac
+	if sum < 0 || sum > 1.0001 {
+		return fmt.Errorf("loopgen: archetype fractions sum to %v", sum)
+	}
+	for _, f := range []float64{p.UnitStrideProb, p.ScalarProb} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("loopgen: probability %v out of range", f)
+		}
+	}
+	return nil
+}
+
+// Workbench generates the synthetic loop suite.
+func Workbench(p Params) ([]*ddg.Loop, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	loops := make([]*ddg.Loop, 0, p.Loops)
+	for i := 0; i < p.Loops; i++ {
+		loops = append(loops, generate(rng, p, i))
+	}
+	return loops, nil
+}
+
+// archetype identifiers.
+type archetype int
+
+const (
+	stream archetype = iota
+	reduce
+	recur
+	strided
+	divloop
+	scalarish
+)
+
+func (a archetype) String() string {
+	return [...]string{"stream", "reduce", "recur", "strided", "div", "scalar"}[a]
+}
+
+func pickArchetype(rng *rand.Rand, p Params) archetype {
+	x := rng.Float64()
+	for _, c := range []struct {
+		f float64
+		a archetype
+	}{
+		{p.StreamFrac, stream},
+		{p.ReduceFrac, reduce},
+		{p.RecurFrac, recur},
+		{p.StridedFrac, strided},
+		{p.DivFrac, divloop},
+	} {
+		if x < c.f {
+			return c.a
+		}
+		x -= c.f
+	}
+	return scalarish
+}
+
+func generate(rng *rand.Rand, p Params, idx int) *ddg.Loop {
+	a := pickArchetype(rng, p)
+	size := p.MinOps + rng.Intn(p.MaxOps-p.MinOps+1)
+	trips := p.MinTrips + rng.Int63n(p.MaxTrips-p.MinTrips+1)
+	name := fmt.Sprintf("%s%04d", a, idx)
+	b := ddg.NewBuilder(name, trips)
+
+	switch a {
+	case stream:
+		buildStream(rng, b, size, p.UnitStrideProb, p.ScalarProb)
+	case reduce:
+		buildReduce(rng, b, size, p.UnitStrideProb)
+	case recur:
+		buildRecurrence(rng, b, size, p.UnitStrideProb)
+	case strided:
+		buildStream(rng, b, size, 0.30, p.ScalarProb) // mostly non-unit strides
+	case divloop:
+		buildDiv(rng, b, size, p.UnitStrideProb)
+	case scalarish:
+		buildStream(rng, b, size, p.UnitStrideProb, 0.35) // heavy scalar flavour
+	}
+	return b.Build()
+}
+
+// stride draws a memory stride: 1 with probability unitProb, otherwise a
+// non-compactable stride (2, 4 or 0 for indirect accesses).
+func stride(rng *rand.Rand, unitProb float64) int {
+	if rng.Float64() < unitProb {
+		return 1
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return 2
+	case 1:
+		return 4
+	default:
+		return 0 // indirect / loop-invariant address
+	}
+}
+
+// buildStream creates independent dataflow trees: groups of loads feeding a
+// small arithmetic tree feeding a store. This is the daxpy/triad family:
+// fully parallel across iterations. A fraction of values is additionally
+// consumed one or two iterations later (the sliding-window reuse of
+// stencils and unrolled loops), which stretches their register lifetimes
+// across iterations — the pressure source behind the paper's Section 3.2.
+func buildStream(rng *rand.Rand, b *ddg.Builder, size int, unitProb, scalarProb float64) {
+	remaining := size
+	var prevTree []int // values of the previous tree, for reuse edges
+	var allVals []int  // all values so far, for cross-tree consumers
+	for remaining > 0 {
+		// One tree: 1-2 loads, 2-6 arithmetic operations, sometimes a
+		// store — roughly two FPU operations per memory operation, the
+		// balance the paper's 2-FPUs-per-bus design point reflects.
+		nLoads := 1 + rng.Intn(2)
+		nArith := 2 + rng.Intn(5)
+		var vals []int
+		for i := 0; i < nLoads && remaining > 0; i++ {
+			vals = append(vals, b.Load(stride(rng, unitProb), ""))
+			remaining--
+		}
+		for i := 0; i < nArith && remaining > 0; i++ {
+			kind := machine.Add
+			if rng.Float64() < 0.45 {
+				kind = machine.Mul
+			}
+			op := b.Op(kind, "")
+			if rng.Float64() < scalarProb {
+				b.Scalar(op)
+			}
+			// First operand from this tree; the second either from this
+			// tree or — the common-subexpression pattern of real bodies —
+			// from an earlier tree, which stretches that value's lifetime
+			// far beyond its latency.
+			if len(vals) > 0 {
+				b.Flow(vals[rng.Intn(len(vals))], op, 0)
+				second := rng.Float64()
+				switch {
+				case second < 0.45 && len(vals) > 1:
+					b.Flow(vals[rng.Intn(len(vals))], op, 0)
+				case second < 0.80 && len(allVals) > 0:
+					b.Flow(allVals[rng.Intn(len(allVals))], op, 0)
+				}
+			}
+			// Sliding-window reuse: consume a previous tree's value one
+			// iteration later (occasionally two) — a forward edge, not a
+			// recurrence. This stretches a quarter of the lifetimes
+			// across iterations, the irreducible pressure floor that
+			// favours the wide register file.
+			if len(prevTree) > 0 && rng.Float64() < 0.25 {
+				d := 1
+				if rng.Float64() < 0.2 {
+					d = 2
+				}
+				b.Flow(prevTree[rng.Intn(len(prevTree))], op, d)
+			}
+			vals = append(vals, op)
+			remaining--
+		}
+		if remaining > 0 && rng.Float64() < 0.55 {
+			st := b.Store(stride(rng, unitProb), "")
+			if len(vals) > 0 {
+				b.Flow(vals[len(vals)-1], st, 0)
+			}
+			remaining--
+		}
+		if len(vals) > 0 {
+			prevTree = vals
+			allVals = append(allVals, vals...)
+			if len(allVals) > 48 {
+				allVals = allVals[len(allVals)-48:]
+			}
+		}
+	}
+}
+
+// buildReduce creates a parallel body feeding one or more accumulators
+// (sum/dot-product family): the accumulator add closes a distance-1 or -2
+// recurrence, capping the II at the add latency (or half of it). Feed
+// values fold through a chain of two-operand adds — the shape real
+// compiled reductions have — so each partial sum dies as soon as the next
+// fold consumes it.
+func buildReduce(rng *rand.Rand, b *ddg.Builder, size int, unitProb float64) {
+	nAcc := 1
+	if rng.Float64() < 0.3 {
+		nAcc = 2
+	}
+	accDist := 1
+	if rng.Float64() < 0.4 {
+		accDist = 2 // riffled / partially unrolled reduction
+	}
+	// Accumulators.
+	accs := make([]int, nAcc)
+	partial := make([]int, nAcc)
+	for i := range accs {
+		accs[i] = b.Op(machine.Add, fmt.Sprintf("acc%d", i))
+		b.Flow(accs[i], accs[i], accDist)
+		partial[i] = -1
+	}
+	remaining := size - nAcc
+	for remaining > 0 {
+		ld := b.Load(stride(rng, unitProb), "")
+		remaining--
+		feed := ld
+		if remaining > 1 && rng.Float64() < 0.6 {
+			m := b.Op(machine.Mul, "")
+			b.Flow(ld, m, 0)
+			remaining--
+			if remaining > 1 && rng.Float64() < 0.5 {
+				ld2 := b.Load(stride(rng, unitProb), "")
+				b.Flow(ld2, m, 0)
+				remaining--
+			}
+			feed = m
+		}
+		a := rng.Intn(nAcc)
+		switch {
+		case partial[a] < 0:
+			partial[a] = feed
+		case remaining > 0:
+			fold := b.Op(machine.Add, "")
+			b.Flow(partial[a], fold, 0)
+			b.Flow(feed, fold, 0)
+			partial[a] = fold
+			remaining--
+		default:
+			b.Flow(feed, accs[a], 0)
+		}
+	}
+	for a, p := range partial {
+		if p >= 0 {
+			b.Flow(p, accs[a], 0)
+		}
+	}
+}
+
+// buildRecurrence creates a first-order recurrence threaded through an
+// arithmetic chain (Livermore L5/L11 family): RecMII is the chain latency
+// over the carry distance, so these loops gain nothing from resources.
+func buildRecurrence(rng *rand.Rand, b *ddg.Builder, size int, unitProb float64) {
+	chainLen := 2 + rng.Intn(3) // 2-4 ops in the carried chain
+	dist := 1
+	if rng.Float64() < 0.3 {
+		dist = 2
+	}
+	chain := make([]int, chainLen)
+	for i := range chain {
+		kind := machine.Add
+		if rng.Float64() < 0.4 {
+			kind = machine.Mul
+		}
+		chain[i] = b.Op(kind, fmt.Sprintf("rec%d", i))
+		if i > 0 {
+			b.Flow(chain[i-1], chain[i], 0)
+		}
+	}
+	b.Flow(chain[chainLen-1], chain[0], dist)
+
+	// Surrounding parallel work.
+	remaining := size - chainLen
+	if remaining > 0 {
+		ld := b.Load(stride(rng, unitProb), "")
+		b.Flow(ld, chain[0], 0)
+		remaining--
+	}
+	if remaining > 0 {
+		st := b.Store(stride(rng, unitProb), "")
+		b.Flow(chain[chainLen-1], st, 0)
+		remaining--
+	}
+	if remaining > 0 {
+		buildStream(rng, b, remaining, unitProb, 0.05)
+	}
+}
+
+// buildDiv creates a body containing a divide (and occasionally a square
+// root): the non-pipelined unit floors the II at the operation's latency.
+func buildDiv(rng *rand.Rand, b *ddg.Builder, size int, unitProb float64) {
+	ld1 := b.Load(stride(rng, unitProb), "")
+	ld2 := b.Load(stride(rng, unitProb), "")
+	dv := b.Op(machine.Div, "div")
+	b.Flow(ld1, dv, 0)
+	b.Flow(ld2, dv, 0)
+	sink := dv
+	remaining := size - 3
+	if rng.Float64() < 0.3 && remaining > 1 {
+		sq := b.Op(machine.Sqrt, "sqrt")
+		b.Flow(dv, sq, 0)
+		sink = sq
+		remaining--
+	}
+	st := b.Store(stride(rng, unitProb), "")
+	b.Flow(sink, st, 0)
+	remaining--
+	if remaining > 0 {
+		buildStream(rng, b, remaining, unitProb, 0.05)
+	}
+}
+
+// SuiteStats aggregates workload statistics for reporting.
+type SuiteStats struct {
+	Loops            int
+	Ops              int
+	MemFrac          float64 // memory operations / all operations
+	RecurrentFrac    float64 // operations on recurrences
+	CompactableFrac  float64 // widening-eligible operations
+	RecurrenceBound  int     // loops with RecMII4 > ResMII on 1w1
+	WeightedAvgTrips float64
+}
+
+// Stats computes aggregate statistics of a loop suite.
+func Stats(loops []*ddg.Loop) SuiteStats {
+	var s SuiteStats
+	s.Loops = len(loops)
+	var mem, rec, comp, trips int64
+	for _, l := range loops {
+		st := l.ComputeStats()
+		s.Ops += st.Ops
+		mem += int64(st.MemOps)
+		rec += int64(st.Recurrent)
+		comp += int64(st.Compactable)
+		trips += l.Trips
+		if st.RecMII4 > l.ResMII(machine.FourCycle, 1, 2) {
+			s.RecurrenceBound++
+		}
+	}
+	if s.Ops > 0 {
+		s.MemFrac = float64(mem) / float64(s.Ops)
+		s.RecurrentFrac = float64(rec) / float64(s.Ops)
+		s.CompactableFrac = float64(comp) / float64(s.Ops)
+	}
+	if s.Loops > 0 {
+		s.WeightedAvgTrips = float64(trips) / float64(s.Loops)
+	}
+	return s
+}

@@ -1,0 +1,263 @@
+package loopgen
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/widen"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateRejects(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Loops = 0 },
+		func(p *Params) { p.MinOps = 1 },
+		func(p *Params) { p.MaxOps = p.MinOps - 1 },
+		func(p *Params) { p.MinTrips = 0 },
+		func(p *Params) { p.MaxTrips = p.MinTrips - 1 },
+		func(p *Params) { p.StreamFrac = 0.9; p.ReduceFrac = 0.9 },
+		func(p *Params) { p.UnitStrideProb = 1.5 },
+		func(p *Params) { p.ScalarProb = -0.1 },
+	}
+	for i, mutate := range cases {
+		p := Defaults()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation failure", i)
+		}
+	}
+}
+
+func TestWorkbenchDeterministic(t *testing.T) {
+	p := Defaults()
+	p.Loops = 50
+	a, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].NumOps() != b[i].NumOps() ||
+			len(a[i].Edges) != len(b[i].Edges) || a[i].Trips != b[i].Trips {
+			t.Fatalf("loop %d differs between runs", i)
+		}
+	}
+	// A different seed gives a different suite.
+	p.Seed++
+	c, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].NumOps() != c[i].NumOps() || len(a[i].Edges) != len(c[i].Edges) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical workbench")
+	}
+}
+
+func TestWorkbenchLoopsValid(t *testing.T) {
+	p := Defaults()
+	p.Loops = 300
+	loops, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 300 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	for _, l := range loops {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("loop %s: %v", l.Name, err)
+		}
+		if l.NumOps() < p.MinOps-1 || l.NumOps() > p.MaxOps+8 {
+			t.Errorf("loop %s has %d ops (bounds [%d, %d])",
+				l.Name, l.NumOps(), p.MinOps, p.MaxOps)
+		}
+		if l.Trips < p.MinTrips || l.Trips > p.MaxTrips {
+			t.Errorf("loop %s trips %d out of bounds", l.Name, l.Trips)
+		}
+	}
+}
+
+func TestWorkbenchRejectsBadParams(t *testing.T) {
+	p := Defaults()
+	p.Loops = -1
+	if _, err := Workbench(p); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSuiteStats(t *testing.T) {
+	p := Defaults()
+	p.Loops = 400
+	loops, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stats(loops)
+	if s.Loops != 400 || s.Ops == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MemFrac < 0.2 || s.MemFrac > 0.6 {
+		t.Errorf("MemFrac = %.2f, want numerical-code range [0.2, 0.6]", s.MemFrac)
+	}
+	if s.CompactableFrac < 0.6 || s.CompactableFrac > 0.95 {
+		t.Errorf("CompactableFrac = %.2f, want [0.6, 0.95]", s.CompactableFrac)
+	}
+	if s.RecurrentFrac <= 0 || s.RecurrentFrac > 0.4 {
+		t.Errorf("RecurrentFrac = %.2f, want (0, 0.4]", s.RecurrentFrac)
+	}
+	if s.RecurrenceBound == 0 {
+		t.Error("suite must contain recurrence-bound loops")
+	}
+	t.Logf("suite stats: %+v", s)
+}
+
+func TestKernelsValid(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 15 {
+		t.Fatalf("only %d kernels", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			t.Errorf("kernel %s: %v", k.Name, err)
+		}
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel name %s", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	if KernelByName("daxpy") == nil {
+		t.Error("daxpy must exist")
+	}
+	if KernelByName("nope") != nil {
+		t.Error("unknown kernel must be nil")
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	// ddot: the accumulator recurrence pins RecMII to the add latency.
+	ddot := KernelByName("ddot")
+	if got := ddot.RecMII(machine.FourCycle); got != 4 {
+		t.Errorf("ddot RecMII = %d, want 4", got)
+	}
+	// l5tridiag: carried add+mul chain -> RecMII 8.
+	l5 := KernelByName("l5tridiag")
+	if got := l5.RecMII(machine.FourCycle); got != 8 {
+		t.Errorf("l5tridiag RecMII = %d, want 8", got)
+	}
+	// spicediv: the divide's 19-slot occupancy over 2 FPUs -> ceil(19/2).
+	sd := KernelByName("spicediv")
+	if got := sd.ResMII(machine.FourCycle, 1, 2); got != 10 {
+		t.Errorf("spicediv ResMII = %d, want 10", got)
+	}
+	// daxpy: everything compacts.
+	daxpy := KernelByName("daxpy")
+	for _, op := range daxpy.Ops {
+		if !daxpy.Compactable(op.ID) {
+			t.Errorf("daxpy op %s must be compactable", op.Name)
+		}
+	}
+	// cmul: nothing memory-side compacts (stride 2).
+	cmul := KernelByName("cmul")
+	for _, op := range cmul.Ops {
+		if op.Kind.IsMem() && cmul.Compactable(op.ID) {
+			t.Errorf("cmul op %s must not be compactable", op.Name)
+		}
+	}
+}
+
+// peakSpeedup computes the Figure-2 metric: MII-bound cycles under a
+// perfect schedule and infinite registers, weighted by trip counts.
+func peakSpeedup(loops []*ddg.Loop, cfg machine.Config) float64 {
+	model := machine.FourCycle
+	var base, cur float64
+	for _, l := range loops {
+		b := l.MII(model, 1, 2)
+		tl, _ := widen.Transform(l, cfg.Width)
+		ii := tl.MII(model, cfg.Buses, cfg.FPUs())
+		base += float64(l.Trips) * float64(b)
+		cur += float64(l.Trips) * float64(ii) / float64(cfg.Width)
+	}
+	return base / cur
+}
+
+// TestFigure2Shape pins the calibration contract: the workbench reproduces
+// the shape of the paper's Figure 2 — replication saturating near 10x,
+// pure widening near 5x, 2wY near 8x, and Xw2 tracking Xw1 closely.
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check uses a 600-loop workbench")
+	}
+	p := Defaults()
+	p.Loops = 600
+	loops, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := func(cfg string) float64 {
+		c, err := machine.ParseConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return peakSpeedup(loops, c)
+	}
+
+	// Log the full curve for calibration reports.
+	for _, cfg := range []string{
+		"2w1", "1w2", "4w1", "2w2", "1w4", "8w1", "4w2", "2w4", "1w8",
+		"16w1", "8w2", "4w4", "2w8", "1w16", "32w1", "2w16", "1w32",
+		"64w1", "2w32", "1w64", "128w1", "2w64", "1w128",
+	} {
+		t.Logf("peak %-6s = %.2f", cfg, sp(cfg))
+	}
+
+	// Saturation bands (paper Figure 2).
+	if s := sp("128w1"); s < 8 || s > 13 {
+		t.Errorf("replication saturation (128w1) = %.2f, want ~10 (8..13)", s)
+	}
+	if s := sp("1w128"); s < 3.5 || s > 6.5 {
+		t.Errorf("widening saturation (1w128) = %.2f, want ~5 (3.5..6.5)", s)
+	}
+	if s := sp("2w64"); s < 6.5 || s > 9.5 {
+		t.Errorf("2wY saturation (2w64) = %.2f, want ~8 (6.5..9.5)", s)
+	}
+	// Xw2 tracks Xw1.
+	for _, x := range []string{"2", "4", "8"} {
+		w1 := sp(x + "w1")
+		w2 := sp(x + "w2")
+		if w2 < 0.85*w1 {
+			t.Errorf("%sw2 = %.2f too far below %sw1 = %.2f", x, w2, x, w1)
+		}
+	}
+	// Replication speed-up is monotone in the factor.
+	prev := 0.0
+	for _, cfg := range []string{"2w1", "4w1", "8w1", "16w1", "32w1", "64w1", "128w1"} {
+		s := sp(cfg)
+		if s < prev-0.01 {
+			t.Errorf("replication curve not monotone at %s: %.2f after %.2f", cfg, s, prev)
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,386 @@
+// Package machine models the VLIW processor configurations studied in
+// López et al., "Widening Resources: A Cost-effective Technique for
+// Aggressive ILP Architectures" (MICRO-31, 1998).
+//
+// A configuration XwY has X bidirectional buses between the register file
+// and the first-level cache and 2*X general-purpose floating-point units
+// (FPUs), all of width Y: a width-Y resource operates on registers that hold
+// Y consecutive 64-bit words and performs up to Y compactable operations per
+// cycle. The register file holds Z registers of width Y and may be
+// partitioned into n blocks to reduce its access time.
+//
+// The package also defines the four FPU latency models of the paper's
+// Table 6, used to adapt operation latencies to the processor cycle time.
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind identifies the architectural class of an operation. The paper's
+// loops are numerical inner loops built from memory accesses and
+// floating-point arithmetic.
+type OpKind int
+
+const (
+	// Load reads one (wide) value from memory through a bus.
+	Load OpKind = iota
+	// Store writes one (wide) value to memory through a bus.
+	Store
+	// Add is a fully pipelined FPU operation (covers add/sub and other
+	// simple pipelined arithmetic).
+	Add
+	// Mul is a fully pipelined FPU multiply.
+	Mul
+	// Div is a non-pipelined FPU divide: it reserves its FPU for the whole
+	// latency.
+	Div
+	// Sqrt is a non-pipelined FPU square root.
+	Sqrt
+
+	numOpKinds = int(Sqrt) + 1
+)
+
+var opKindNames = [...]string{
+	Load:  "load",
+	Store: "store",
+	Add:   "add",
+	Mul:   "mul",
+	Div:   "div",
+	Sqrt:  "sqrt",
+}
+
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opKindNames) {
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+	return opKindNames[k]
+}
+
+// Valid reports whether k is one of the defined operation kinds.
+func (k OpKind) Valid() bool { return k >= 0 && int(k) < numOpKinds }
+
+// IsMem reports whether the operation uses a bus (memory port).
+func (k OpKind) IsMem() bool { return k == Load || k == Store }
+
+// IsFPU reports whether the operation uses a floating-point unit.
+func (k OpKind) IsFPU() bool { return !k.IsMem() }
+
+// Pipelined reports whether a new operation of this kind can be issued to
+// the same unit every cycle. Division and square root are not pipelined
+// (paper, Section 3): they reserve their unit for their full latency.
+func (k OpKind) Pipelined() bool { return k != Div && k != Sqrt }
+
+// HasResult reports whether the operation produces a register result.
+// Stores consume values but do not define one.
+func (k OpKind) HasResult() bool { return k != Store }
+
+// OpKinds lists all operation kinds, in declaration order.
+func OpKinds() []OpKind {
+	return []OpKind{Load, Store, Add, Mul, Div, Sqrt}
+}
+
+// CycleModel gives the latency in cycles of every operation class. The
+// paper adapts FPU latencies to the processor cycle time: a configuration
+// whose relative cycle time is Tc uses the z-cycles model with
+// z = ceil(4/Tc) (Table 6 and Section 5.2).
+type CycleModel struct {
+	// Z names the model: the latency in cycles of the pipelined
+	// arithmetic/load class (4, 3, 2 or 1).
+	Z int
+	// StoreLat is the latency of a store (1 in every model).
+	StoreLat int
+	// ArithLat is the latency of loads, adds and muls (fully pipelined).
+	ArithLat int
+	// DivLat is the latency of the non-pipelined divide.
+	DivLat int
+	// SqrtLat is the latency of the non-pipelined square root.
+	SqrtLat int
+}
+
+// The four cycle models of Table 6.
+var (
+	FourCycle  = CycleModel{Z: 4, StoreLat: 1, ArithLat: 4, DivLat: 19, SqrtLat: 27}
+	ThreeCycle = CycleModel{Z: 3, StoreLat: 1, ArithLat: 3, DivLat: 15, SqrtLat: 21}
+	TwoCycle   = CycleModel{Z: 2, StoreLat: 1, ArithLat: 2, DivLat: 10, SqrtLat: 14}
+	OneCycle   = CycleModel{Z: 1, StoreLat: 1, ArithLat: 1, DivLat: 5, SqrtLat: 7}
+)
+
+// CycleModels lists the four models of Table 6, slowest (4-cycle) first.
+func CycleModels() []CycleModel {
+	return []CycleModel{FourCycle, ThreeCycle, TwoCycle, OneCycle}
+}
+
+// ModelFor returns the z-cycles model. It panics if z is not in 1..4; use
+// ModelForCycleTime to map an arbitrary cycle time onto a model.
+func ModelFor(z int) CycleModel {
+	switch z {
+	case 4:
+		return FourCycle
+	case 3:
+		return ThreeCycle
+	case 2:
+		return TwoCycle
+	case 1:
+		return OneCycle
+	}
+	panic(fmt.Sprintf("machine: no %d-cycles model", z))
+}
+
+// ModelForCycleTime maps a relative cycle time Tc (normalized so that the
+// baseline 1w1 32-register configuration has Tc = 1.0) onto the cycle model
+// used to schedule at that cycle time: z = ceil(4/Tc) clamped to [1, 4].
+// This reproduces the paper's examples: Tc = 1.85 -> 3-cycles,
+// Tc = 2.09 -> 2-cycles, Tc = 1.80 -> 3-cycles.
+func ModelForCycleTime(tc float64) CycleModel {
+	if tc <= 0 {
+		panic(fmt.Sprintf("machine: non-positive cycle time %g", tc))
+	}
+	z := int(4 / tc)
+	if float64(z) < 4/tc {
+		z++ // ceil
+	}
+	if z < 1 {
+		z = 1
+	}
+	if z > 4 {
+		z = 4
+	}
+	return ModelFor(z)
+}
+
+// Latency returns the number of cycles before the result of an operation of
+// kind k is available to a consumer.
+func (m CycleModel) Latency(k OpKind) int {
+	switch k {
+	case Store:
+		return m.StoreLat
+	case Load, Add, Mul:
+		return m.ArithLat
+	case Div:
+		return m.DivLat
+	case Sqrt:
+		return m.SqrtLat
+	}
+	panic(fmt.Sprintf("machine: latency of invalid op kind %d", int(k)))
+}
+
+// Occupancy returns the number of consecutive cycles an operation of kind k
+// reserves its unit: 1 for pipelined operations, the full latency for the
+// non-pipelined divide and square root.
+func (m CycleModel) Occupancy(k OpKind) int {
+	if k.Pipelined() {
+		return 1
+	}
+	return m.Latency(k)
+}
+
+func (m CycleModel) String() string {
+	return fmt.Sprintf("%d-cycles", m.Z)
+}
+
+// Config identifies a processor configuration XwY: Buses buses and
+// 2*Buses FPUs, all of width Width.
+type Config struct {
+	// Buses is X: the number of bidirectional buses to the first-level
+	// cache. Must be >= 1.
+	Buses int
+	// Width is Y: the width, in 64-bit words, of every bus, FPU and
+	// register. Must be >= 1.
+	Width int
+}
+
+// FPUs returns the number of floating-point units (always twice the number
+// of buses: the paper found the 2-FPUs-per-bus ratio the most balanced,
+// matching the MIPS R10000 issue mix).
+func (c Config) FPUs() int { return 2 * c.Buses }
+
+// Factor returns the peak number of basic (width-1) operations the
+// configuration can start per cycle, relative to 1w1, i.e. X*Y. The paper
+// sweeps factors 1, 2, 4, ..., 128.
+func (c Config) Factor() int { return c.Buses * c.Width }
+
+// ReadPorts returns the number of register file read ports: one per bus and
+// two per FPU (Section 4.1).
+func (c Config) ReadPorts() int { return c.Buses + 2*c.FPUs() }
+
+// WritePorts returns the number of register file write ports: one per bus
+// and one per FPU.
+func (c Config) WritePorts() int { return c.Buses + c.FPUs() }
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error {
+	if c.Buses < 1 {
+		return fmt.Errorf("machine: config %s: buses must be >= 1", c)
+	}
+	if c.Width < 1 {
+		return fmt.Errorf("machine: config %s: width must be >= 1", c)
+	}
+	return nil
+}
+
+// String renders the configuration in the paper's XwY notation.
+func (c Config) String() string {
+	return fmt.Sprintf("%dw%d", c.Buses, c.Width)
+}
+
+// ParseConfig parses the XwY notation, e.g. "4w2".
+func ParseConfig(s string) (Config, error) {
+	i := strings.IndexByte(s, 'w')
+	if i <= 0 || i == len(s)-1 {
+		return Config{}, fmt.Errorf("machine: malformed configuration %q (want XwY)", s)
+	}
+	x, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return Config{}, fmt.Errorf("machine: malformed bus count in %q: %v", s, err)
+	}
+	y, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return Config{}, fmt.Errorf("machine: malformed width in %q: %v", s, err)
+	}
+	c := Config{Buses: x, Width: y}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// ConfigsWithFactor enumerates every configuration XwY with X*Y == factor
+// and X, Y powers of two, most-replicated first (the paper's ordering:
+// 8w1, 4w2, 2w4, 1w8). factor must be a positive power of two.
+func ConfigsWithFactor(factor int) []Config {
+	if factor < 1 || factor&(factor-1) != 0 {
+		panic(fmt.Sprintf("machine: factor %d is not a positive power of two", factor))
+	}
+	var out []Config
+	for x := factor; x >= 1; x /= 2 {
+		out = append(out, Config{Buses: x, Width: factor / x})
+	}
+	return out
+}
+
+// ConfigsUpToFactor enumerates all power-of-two configurations with factor
+// 1, 2, 4, ..., maxFactor, in increasing factor order (the full design space
+// of Figure 2 uses maxFactor = 128).
+func ConfigsUpToFactor(maxFactor int) []Config {
+	var out []Config
+	for f := 1; f <= maxFactor; f *= 2 {
+		out = append(out, ConfigsWithFactor(f)...)
+	}
+	return out
+}
+
+// RegFileSizes lists the register file sizes evaluated by the paper.
+var RegFileSizes = []int{32, 64, 128, 256}
+
+// RegFile describes a register file: Regs registers, each Width 64-bit
+// words wide, implemented as Partitions identical blocks that each hold a
+// full copy of the data (Section 4.2). Partitions == 1 is the monolithic
+// register file.
+type RegFile struct {
+	Regs       int
+	Width      int
+	Partitions int
+}
+
+// WordBits is the width in bits of a basic (width-1) register word.
+const WordBits = 64
+
+// Bits returns the number of data bits per register.
+func (rf RegFile) Bits() int { return rf.Width * WordBits }
+
+// Validate reports whether the register file description is well formed.
+func (rf RegFile) Validate() error {
+	if rf.Regs < 1 {
+		return fmt.Errorf("machine: register file must have >= 1 registers, got %d", rf.Regs)
+	}
+	if rf.Width < 1 {
+		return fmt.Errorf("machine: register width must be >= 1, got %d", rf.Width)
+	}
+	if rf.Partitions < 1 {
+		return fmt.Errorf("machine: register file must have >= 1 partitions, got %d", rf.Partitions)
+	}
+	return nil
+}
+
+// ValidPartitions enumerates the block counts a configuration's register
+// file can be partitioned into: the divisors of X that are powers of two
+// (each block serves an integral share of the buses and FPUs). For 8w1
+// these are 1, 2, 4 and 8, matching Figure 6 and Table 5.
+func (c Config) ValidPartitions() []int {
+	var out []int
+	for n := 1; n <= c.Buses; n *= 2 {
+		if c.Buses%n == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// PartitionPorts returns the read and write port counts of each block when
+// the register file of configuration c is split into n blocks: every block
+// keeps all write ports (every unit writes all copies) but serves only 1/n
+// of the readers (Section 4.2: an 8w1 register file needs 40R+24W; two
+// copies need 20R+24W each).
+func (c Config) PartitionPorts(n int) (reads, writes int) {
+	if n < 1 || c.Buses%n != 0 {
+		panic(fmt.Sprintf("machine: %s cannot be partitioned into %d blocks", c, n))
+	}
+	return c.ReadPorts() / n, c.WritePorts()
+}
+
+// Machine bundles everything the scheduler needs: the configuration, the
+// register file and the cycle model in force.
+type Machine struct {
+	Config Config
+	RF     RegFile
+	Model  CycleModel
+}
+
+// New returns a machine with a monolithic register file of regs registers
+// (of the configuration's width) under the given cycle model.
+func New(c Config, regs int, m CycleModel) Machine {
+	return Machine{
+		Config: c,
+		RF:     RegFile{Regs: regs, Width: c.Width, Partitions: 1},
+		Model:  m,
+	}
+}
+
+// Validate reports whether the machine description is consistent.
+func (m Machine) Validate() error {
+	if err := m.Config.Validate(); err != nil {
+		return err
+	}
+	if err := m.RF.Validate(); err != nil {
+		return err
+	}
+	if m.RF.Width != m.Config.Width {
+		return fmt.Errorf("machine: register width %d does not match configuration width %d",
+			m.RF.Width, m.Config.Width)
+	}
+	if m.Config.Buses%m.RF.Partitions != 0 {
+		return fmt.Errorf("machine: %s cannot be partitioned into %d blocks",
+			m.Config, m.RF.Partitions)
+	}
+	switch m.Model.Z {
+	case 1, 2, 3, 4:
+	default:
+		return fmt.Errorf("machine: unknown cycle model z=%d", m.Model.Z)
+	}
+	return nil
+}
+
+// Slots returns the number of issue slots of each resource class: mem slots
+// (buses) and fpu slots.
+func (m Machine) Slots() (mem, fpu int) {
+	return m.Config.Buses, m.Config.FPUs()
+}
+
+// String renders the machine in the paper's XwY(Z:n) notation, e.g.
+// "4w2(128:2)".
+func (m Machine) String() string {
+	return fmt.Sprintf("%s(%d:%d)", m.Config, m.RF.Regs, m.RF.Partitions)
+}

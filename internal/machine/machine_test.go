@@ -1,0 +1,434 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpKindString(t *testing.T) {
+	want := map[OpKind]string{
+		Load: "load", Store: "store", Add: "add", Mul: "mul", Div: "div", Sqrt: "sqrt",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("OpKind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if got := OpKind(99).String(); got != "OpKind(99)" {
+		t.Errorf("invalid kind string = %q", got)
+	}
+}
+
+func TestOpKindClasses(t *testing.T) {
+	for _, k := range OpKinds() {
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+		if k.IsMem() == k.IsFPU() {
+			t.Errorf("%v: IsMem and IsFPU must partition the kinds", k)
+		}
+	}
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("load and store must be memory operations")
+	}
+	for _, k := range []OpKind{Add, Mul, Div, Sqrt} {
+		if !k.IsFPU() {
+			t.Errorf("%v must be an FPU operation", k)
+		}
+	}
+	if Div.Pipelined() || Sqrt.Pipelined() {
+		t.Error("div and sqrt are not pipelined")
+	}
+	for _, k := range []OpKind{Load, Store, Add, Mul} {
+		if !k.Pipelined() {
+			t.Errorf("%v must be pipelined", k)
+		}
+	}
+	if Store.HasResult() {
+		t.Error("store has no register result")
+	}
+	for _, k := range []OpKind{Load, Add, Mul, Div, Sqrt} {
+		if !k.HasResult() {
+			t.Errorf("%v must define a result", k)
+		}
+	}
+	if !OpKind(-1).Valid() == false && OpKind(-1).Valid() {
+		t.Error("negative kind must be invalid")
+	}
+}
+
+// TestCycleModelsTable6 pins the exact latency table of the paper (Table 6).
+func TestCycleModelsTable6(t *testing.T) {
+	cases := []struct {
+		m                      CycleModel
+		store, arith, div, sqr int
+	}{
+		{FourCycle, 1, 4, 19, 27},
+		{ThreeCycle, 1, 3, 15, 21},
+		{TwoCycle, 1, 2, 10, 14},
+		{OneCycle, 1, 1, 5, 7},
+	}
+	for _, c := range cases {
+		if got := c.m.Latency(Store); got != c.store {
+			t.Errorf("%v store latency = %d, want %d", c.m, got, c.store)
+		}
+		for _, k := range []OpKind{Load, Add, Mul} {
+			if got := c.m.Latency(k); got != c.arith {
+				t.Errorf("%v %v latency = %d, want %d", c.m, k, got, c.arith)
+			}
+		}
+		if got := c.m.Latency(Div); got != c.div {
+			t.Errorf("%v div latency = %d, want %d", c.m, got, c.div)
+		}
+		if got := c.m.Latency(Sqrt); got != c.sqr {
+			t.Errorf("%v sqrt latency = %d, want %d", c.m, got, c.sqr)
+		}
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	for z := 1; z <= 4; z++ {
+		if got := ModelFor(z); got.Z != z {
+			t.Errorf("ModelFor(%d).Z = %d", z, got.Z)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ModelFor(5) must panic")
+		}
+	}()
+	ModelFor(5)
+}
+
+// TestModelForCycleTime pins the paper's own Section 5.2 examples.
+func TestModelForCycleTime(t *testing.T) {
+	cases := []struct {
+		tc   float64
+		want int
+	}{
+		{1.0, 4},   // baseline 1w1 32-RF
+		{1.05, 4},  // 1w1 64-RF
+		{1.85, 3},  // paper: 2w4(32:1) -> 3-cycles model
+		{2.09, 2},  // paper: 2w4(128:1) -> 2-cycles model
+		{1.80, 3},  // paper: 2w4(128:2) -> 3-cycles model
+		{4.32, 1},  // 8w1 32-RF: slower than 4x -> 1-cycle model
+		{0.5, 4},   // faster than baseline clamps at the 4-cycles model
+		{100.0, 1}, // absurdly slow clamps at the 1-cycle model
+		{4.0, 1},   // exactly 4: ceil(1) = 1
+		{2.0, 2},   // exactly 2: ceil(2) = 2
+	}
+	for _, c := range cases {
+		if got := ModelForCycleTime(c.tc); got.Z != c.want {
+			t.Errorf("ModelForCycleTime(%g).Z = %d, want %d", c.tc, got.Z, c.want)
+		}
+	}
+}
+
+func TestModelForCycleTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ModelForCycleTime(0) must panic")
+		}
+	}()
+	ModelForCycleTime(0)
+}
+
+func TestOccupancy(t *testing.T) {
+	for _, m := range CycleModels() {
+		for _, k := range []OpKind{Load, Store, Add, Mul} {
+			if got := m.Occupancy(k); got != 1 {
+				t.Errorf("%v occupancy of %v = %d, want 1", m, k, got)
+			}
+		}
+		if got := m.Occupancy(Div); got != m.DivLat {
+			t.Errorf("%v occupancy of div = %d, want %d", m, got, m.DivLat)
+		}
+		if got := m.Occupancy(Sqrt); got != m.SqrtLat {
+			t.Errorf("%v occupancy of sqrt = %d, want %d", m, got, m.SqrtLat)
+		}
+	}
+}
+
+func TestConfigBasics(t *testing.T) {
+	c := Config{Buses: 4, Width: 2}
+	if c.FPUs() != 8 {
+		t.Errorf("4w2 FPUs = %d, want 8", c.FPUs())
+	}
+	if c.Factor() != 8 {
+		t.Errorf("4w2 factor = %d, want 8", c.Factor())
+	}
+	if c.String() != "4w2" {
+		t.Errorf("String = %q", c.String())
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("4w2 must validate: %v", err)
+	}
+	for _, bad := range []Config{{0, 1}, {1, 0}, {-1, 2}, {2, -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v must fail validation", bad)
+		}
+	}
+}
+
+// TestConfigPorts pins the paper's Section 4.1 port accounting: 2R+1W per
+// FPU and 1R+1W per bus, so 1w4 (2 FPUs + 1 bus) has 5R+3W and doubling the
+// replication doubles the ports.
+func TestConfigPorts(t *testing.T) {
+	cases := []struct {
+		cfg          string
+		reads, wrads int
+	}{
+		{"1w1", 5, 3},
+		{"1w4", 5, 3},
+		{"2w2", 10, 6},
+		{"4w1", 20, 12},
+		{"8w1", 40, 24},
+	}
+	for _, c := range cases {
+		cfg, err := ParseConfig(c.cfg)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", c.cfg, err)
+		}
+		if cfg.ReadPorts() != c.reads || cfg.WritePorts() != c.wrads {
+			t.Errorf("%s ports = %dR+%dW, want %dR+%dW",
+				c.cfg, cfg.ReadPorts(), cfg.WritePorts(), c.reads, c.wrads)
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	good := map[string]Config{
+		"1w1":   {1, 1},
+		"4w2":   {4, 2},
+		"16w8":  {16, 8},
+		"128w1": {128, 1},
+	}
+	for s, want := range good {
+		got, err := ParseConfig(s)
+		if err != nil {
+			t.Errorf("ParseConfig(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseConfig(%q) = %+v, want %+v", s, got, want)
+		}
+	}
+	for _, s := range []string{"", "w", "4w", "w2", "4x2", "aw2", "4wb", "0w2", "2w0", "-1w2"} {
+		if _, err := ParseConfig(s); err == nil {
+			t.Errorf("ParseConfig(%q) must fail", s)
+		}
+	}
+}
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	f := func(x, y uint8) bool {
+		c := Config{Buses: int(x%64) + 1, Width: int(y%64) + 1}
+		got, err := ParseConfig(c.String())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigsWithFactor(t *testing.T) {
+	got := ConfigsWithFactor(8)
+	want := []Config{{8, 1}, {4, 2}, {2, 4}, {1, 8}}
+	if len(got) != len(want) {
+		t.Fatalf("ConfigsWithFactor(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ConfigsWithFactor(8)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Every configuration must have the requested factor.
+	for f := 1; f <= 128; f *= 2 {
+		for _, c := range ConfigsWithFactor(f) {
+			if c.Factor() != f {
+				t.Errorf("config %v has factor %d, want %d", c, c.Factor(), f)
+			}
+		}
+		if n := len(ConfigsWithFactor(f)); n != bitsLog2(f)+1 {
+			t.Errorf("factor %d: %d configs, want %d", f, n, bitsLog2(f)+1)
+		}
+	}
+}
+
+func bitsLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n /= 2
+		l++
+	}
+	return l
+}
+
+func TestConfigsWithFactorPanics(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ConfigsWithFactor(%d) must panic", bad)
+				}
+			}()
+			ConfigsWithFactor(bad)
+		}()
+	}
+}
+
+func TestConfigsUpToFactor(t *testing.T) {
+	got := ConfigsUpToFactor(128)
+	// 1 + 2 + 3 + ... + 8 = 36 configurations (Figure 2's design space).
+	if len(got) != 36 {
+		t.Fatalf("ConfigsUpToFactor(128) has %d configs, want 36", len(got))
+	}
+	if got[0] != (Config{1, 1}) {
+		t.Errorf("first config = %v, want 1w1", got[0])
+	}
+	if got[len(got)-1] != (Config{1, 128}) {
+		t.Errorf("last config = %v, want 1w128", got[len(got)-1])
+	}
+	seen := map[Config]bool{}
+	for _, c := range got {
+		if seen[c] {
+			t.Errorf("duplicate config %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestValidPartitions(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want []int
+	}{
+		{Config{1, 1}, []int{1}},
+		{Config{2, 4}, []int{1, 2}},
+		{Config{8, 1}, []int{1, 2, 4, 8}},
+		{Config{16, 1}, []int{1, 2, 4, 8, 16}},
+	}
+	for _, c := range cases {
+		got := c.cfg.ValidPartitions()
+		if len(got) != len(c.want) {
+			t.Errorf("%v partitions = %v, want %v", c.cfg, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%v partitions = %v, want %v", c.cfg, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestPartitionPorts pins the paper's 8w1 example: one block needs 40R+24W;
+// two identical copies need 20R+24W each (writes are replicated to every
+// copy, reads are split).
+func TestPartitionPorts(t *testing.T) {
+	c := Config{Buses: 8, Width: 1}
+	cases := []struct {
+		n, r, w int
+	}{
+		{1, 40, 24},
+		{2, 20, 24},
+		{4, 10, 24},
+		{8, 5, 24},
+	}
+	for _, cse := range cases {
+		r, w := c.PartitionPorts(cse.n)
+		if r != cse.r || w != cse.w {
+			t.Errorf("8w1 %d-partition ports = %dR+%dW, want %dR+%dW", cse.n, r, w, cse.r, cse.w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PartitionPorts(3) must panic for 8w1")
+		}
+	}()
+	c.PartitionPorts(3)
+}
+
+func TestMachineValidate(t *testing.T) {
+	m := New(Config{4, 2}, 128, FourCycle)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid machine rejected: %v", err)
+	}
+	if m.RF.Width != 2 {
+		t.Errorf("New must give the register file the configuration width, got %d", m.RF.Width)
+	}
+	if s := m.String(); s != "4w2(128:1)" {
+		t.Errorf("String = %q, want 4w2(128:1)", s)
+	}
+	mem, fpu := m.Slots()
+	if mem != 4 || fpu != 8 {
+		t.Errorf("Slots = (%d, %d), want (4, 8)", mem, fpu)
+	}
+
+	bad := m
+	bad.RF.Width = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched register width must fail validation")
+	}
+	bad = m
+	bad.RF.Partitions = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-dividing partition count must fail validation")
+	}
+	bad = m
+	bad.Model.Z = 7
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown cycle model must fail validation")
+	}
+	bad = m
+	bad.Config.Buses = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero buses must fail validation")
+	}
+	bad = m
+	bad.RF.Regs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero registers must fail validation")
+	}
+}
+
+// Property: the cycle-model mapping is monotone — a slower cycle never
+// selects a deeper pipeline model.
+func TestModelForCycleTimeMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		ta := 0.5 + math.Abs(a)
+		tb := 0.5 + math.Abs(b)
+		if math.IsNaN(ta) || math.IsNaN(tb) || math.IsInf(ta, 0) || math.IsInf(tb, 0) {
+			return true
+		}
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return ModelForCycleTime(ta).Z >= ModelForCycleTime(tb).Z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: latencies shrink monotonically with the cycle-model depth z and
+// occupancy never exceeds latency.
+func TestCycleModelMonotone(t *testing.T) {
+	models := CycleModels()
+	for i := 1; i < len(models); i++ {
+		for _, k := range OpKinds() {
+			if models[i].Latency(k) > models[i-1].Latency(k) {
+				t.Errorf("latency of %v must not grow from %v to %v", k, models[i-1], models[i])
+			}
+		}
+	}
+	for _, m := range models {
+		for _, k := range OpKinds() {
+			if m.Occupancy(k) > m.Latency(k) {
+				t.Errorf("%v: occupancy of %v exceeds latency", m, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package mrt implements the modulo reservation table used by the modulo
+// scheduler: a resource usage map over one initiation interval (II) that
+// repeats every II cycles.
+//
+// Placing a pipelined operation at cycle t reserves one row (t mod II) on
+// one unit of its class. A non-pipelined operation (divide, square root)
+// reserves occ consecutive rows. When occ exceeds the II, the reservation
+// spans several units: floor(occ/II) fully-reserved units plus the
+// remaining rows on one more — this models hardware in which successive
+// iterations' long operations round-robin across the replicated units, so
+// a loop with one 19-cycle divide per iteration can still sustain II = 10
+// on two dividers.
+package mrt
+
+import "fmt"
+
+// Class selects a resource class of the VLIW machine.
+type Class int
+
+const (
+	// Mem is the bus class (memory ports).
+	Mem Class = iota
+	// FPU is the floating-point unit class.
+	FPU
+)
+
+func (c Class) String() string {
+	if c == Mem {
+		return "mem"
+	}
+	return "fpu"
+}
+
+// Span is a contiguous block of reserved rows on one unit.
+type Span struct {
+	Unit  int
+	Cycle int // starting cycle; rows are Cycle..Cycle+Occ-1 mod II
+	Occ   int
+}
+
+// Reservation records everything needed to release or replay a placement.
+type Reservation struct {
+	Class Class
+	Spans []Span
+}
+
+// PrimaryUnit returns the unit of the first span (the issue slot of the
+// operation); reservations always have at least one span.
+func (r Reservation) PrimaryUnit() int { return r.Spans[0].Unit }
+
+// Table is a modulo reservation table for a machine with a number of
+// identical units per resource class.
+type Table struct {
+	ii    int
+	units [2][]unitRows
+}
+
+type unitRows struct {
+	busy []bool // length ii
+	used int    // busy rows, for cheap utilization queries
+}
+
+// New returns an empty table for the given initiation interval and unit
+// counts. It panics on non-positive arguments: the scheduler never asks
+// for a degenerate table.
+func New(ii, buses, fpus int) *Table {
+	if ii < 1 || buses < 1 || fpus < 1 {
+		panic(fmt.Sprintf("mrt: invalid table (ii=%d, buses=%d, fpus=%d)", ii, buses, fpus))
+	}
+	t := &Table{ii: ii}
+	t.units[Mem] = make([]unitRows, buses)
+	t.units[FPU] = make([]unitRows, fpus)
+	for c := range t.units {
+		for u := range t.units[c] {
+			t.units[c][u].busy = make([]bool, ii)
+		}
+	}
+	return t
+}
+
+// II returns the table's initiation interval.
+func (t *Table) II() int { return t.ii }
+
+// Units returns the number of units in a class.
+func (t *Table) Units(c Class) int { return len(t.units[c]) }
+
+// fits reports whether unit u of class c is free at all occ rows starting
+// at cycle mod ii.
+func (t *Table) fits(c Class, u, cycle, occ int) bool {
+	rows := t.units[c][u].busy
+	start := mod(cycle, t.ii)
+	for i := 0; i < occ; i++ {
+		if rows[(start+i)%t.ii] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Table) reserve(c Class, u, cycle, occ int) {
+	rows := t.units[c][u].busy
+	start := mod(cycle, t.ii)
+	for i := 0; i < occ; i++ {
+		rows[(start+i)%t.ii] = true
+	}
+	t.units[c][u].used += occ
+}
+
+func (t *Table) unreserve(c Class, u, cycle, occ int) {
+	rows := t.units[c][u].busy
+	start := mod(cycle, t.ii)
+	for i := 0; i < occ; i++ {
+		r := (start + i) % t.ii
+		if !rows[r] {
+			panic(fmt.Sprintf("mrt: releasing unreserved row %d of %s unit %d", r, c, u))
+		}
+		rows[r] = false
+	}
+	t.units[c][u].used -= occ
+}
+
+// Place reserves occ rows of class c starting at cycle. For occ <= II the
+// reservation is a single span on the first unit that fits; for occ > II it
+// is floor(occ/II) fully-free units plus the remainder on one more. It
+// returns ok=false without reserving anything when the class cannot
+// accommodate the reservation.
+func (t *Table) Place(c Class, cycle, occ int) (Reservation, bool) {
+	if occ < 1 {
+		panic(fmt.Sprintf("mrt: non-positive occupancy %d", occ))
+	}
+	res := Reservation{Class: c}
+	if occ <= t.ii {
+		for u := range t.units[c] {
+			if t.fits(c, u, cycle, occ) {
+				t.reserve(c, u, cycle, occ)
+				res.Spans = []Span{{Unit: u, Cycle: cycle, Occ: occ}}
+				return res, true
+			}
+		}
+		return Reservation{}, false
+	}
+
+	full := occ / t.ii
+	rem := occ % t.ii
+	var spans []Span
+	taken := make(map[int]bool)
+	// The remainder span leads (it is the issue slot). Prefer a partially
+	// used unit for it so fully-free units stay available for the full
+	// spans.
+	if rem > 0 {
+		remUnit := -1
+		for u := range t.units[c] {
+			if t.units[c][u].used > 0 && t.fits(c, u, cycle, rem) {
+				remUnit = u
+				break
+			}
+		}
+		if remUnit == -1 {
+			for u := range t.units[c] {
+				if t.units[c][u].used == 0 {
+					remUnit = u
+					break
+				}
+			}
+		}
+		if remUnit == -1 {
+			return Reservation{}, false
+		}
+		spans = append(spans, Span{Unit: remUnit, Cycle: cycle, Occ: rem})
+		taken[remUnit] = true
+	}
+	for u := range t.units[c] {
+		if len(spans) == full+sign(rem) {
+			break
+		}
+		if taken[u] || t.units[c][u].used != 0 {
+			continue
+		}
+		spans = append(spans, Span{Unit: u, Cycle: cycle, Occ: t.ii})
+		taken[u] = true
+	}
+	if len(spans) != full+sign(rem) {
+		return Reservation{}, false // nothing reserved yet; no rollback needed
+	}
+	for _, s := range spans {
+		t.reserve(c, s.Unit, s.Cycle, s.Occ)
+	}
+	res.Spans = spans
+	return res, true
+}
+
+func sign(x int) int {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+// PlaceExact reserves exactly the spans of a previously computed
+// reservation (schedule validators use it to replay a recorded placement).
+// It returns false, reserving nothing, if any row is busy or out of range.
+func (t *Table) PlaceExact(r Reservation) bool {
+	for _, s := range r.Spans {
+		if s.Unit < 0 || s.Unit >= len(t.units[r.Class]) || s.Occ < 1 || s.Occ > t.ii {
+			return false
+		}
+	}
+	for i, s := range r.Spans {
+		if !t.fits(r.Class, s.Unit, s.Cycle, s.Occ) {
+			for _, undo := range r.Spans[:i] {
+				t.unreserve(r.Class, undo.Unit, undo.Cycle, undo.Occ)
+			}
+			return false
+		}
+		t.reserve(r.Class, s.Unit, s.Cycle, s.Occ)
+	}
+	return true
+}
+
+// Release frees a reservation previously made by Place or PlaceExact. It
+// panics if the rows are not currently reserved — releasing something never
+// placed is a scheduler bug.
+func (t *Table) Release(r Reservation) {
+	for _, s := range r.Spans {
+		t.unreserve(r.Class, s.Unit, s.Cycle, s.Occ)
+	}
+}
+
+// Used returns the total number of reserved rows in a class (a utilization
+// measure: Used / (Units * II) is the class occupancy).
+func (t *Table) Used(c Class) int {
+	total := 0
+	for u := range t.units[c] {
+		total += t.units[c][u].used
+	}
+	return total
+}
+
+// Utilization returns the fraction of reserved rows in a class.
+func (t *Table) Utilization(c Class) float64 {
+	return float64(t.Used(c)) / float64(len(t.units[c])*t.ii)
+}
+
+// RowFree reports whether a reservation of the given occupancy could start
+// at this cycle.
+func (t *Table) RowFree(c Class, cycle, occ int) bool {
+	if occ <= t.ii {
+		for u := range t.units[c] {
+			if t.fits(c, u, cycle, occ) {
+				return true
+			}
+		}
+		return false
+	}
+	// Cheap conservative probe for multi-unit reservations: count free
+	// units and a remainder slot.
+	full := occ / t.ii
+	rem := occ % t.ii
+	free := 0
+	remOK := rem == 0
+	for u := range t.units[c] {
+		if t.units[c][u].used == 0 {
+			free++
+		} else if rem > 0 && t.fits(c, u, cycle, rem) {
+			remOK = true
+		}
+	}
+	if rem > 0 && free > full {
+		remOK = true // a fully free unit can host the remainder
+	}
+	return free >= full && remOK
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,280 @@
+package mrt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, bad := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) must panic", bad)
+				}
+			}()
+			New(bad[0], bad[1], bad[2])
+		}()
+	}
+}
+
+func TestPlaceFillsClass(t *testing.T) {
+	tb := New(2, 1, 2) // II=2, 1 bus, 2 FPUs
+	// The bus has 2 rows: two placements fit, the third fails.
+	if _, ok := tb.Place(Mem, 0, 1); !ok {
+		t.Fatal("first mem placement must fit")
+	}
+	if _, ok := tb.Place(Mem, 1, 1); !ok {
+		t.Fatal("second mem placement must fit")
+	}
+	if _, ok := tb.Place(Mem, 0, 1); ok {
+		t.Fatal("third mem placement must fail")
+	}
+	// FPUs are independent: 4 rows available.
+	for i := 0; i < 4; i++ {
+		if _, ok := tb.Place(FPU, i, 1); !ok {
+			t.Fatalf("fpu placement %d must fit", i)
+		}
+	}
+	if _, ok := tb.Place(FPU, 0, 1); ok {
+		t.Fatal("fifth fpu placement must fail")
+	}
+	if tb.Used(Mem) != 2 || tb.Used(FPU) != 4 {
+		t.Errorf("Used = %d mem, %d fpu", tb.Used(Mem), tb.Used(FPU))
+	}
+	if u := tb.Utilization(FPU); u != 1.0 {
+		t.Errorf("FPU utilization = %v, want 1", u)
+	}
+}
+
+func TestPlaceModulo(t *testing.T) {
+	tb := New(4, 1, 1)
+	// Cycle 7 lands on row 3; cycle -1 also lands on row 3.
+	if _, ok := tb.Place(Mem, 7, 1); !ok {
+		t.Fatal("placement at cycle 7 must fit")
+	}
+	if _, ok := tb.Place(Mem, -1, 1); ok {
+		t.Fatal("cycle -1 is the same row as cycle 7; must conflict")
+	}
+	if _, ok := tb.Place(Mem, 3, 1); ok {
+		t.Fatal("cycle 3 is the same row; must conflict")
+	}
+	if _, ok := tb.Place(Mem, 11, 1); ok {
+		t.Fatal("cycle 11 is the same row; must conflict")
+	}
+}
+
+func TestMultiCycleReservation(t *testing.T) {
+	tb := New(8, 1, 2)
+	// A 5-row reservation starting at cycle 6 wraps to rows 6,7,0,1,2.
+	r, ok := tb.Place(FPU, 6, 5)
+	if !ok {
+		t.Fatal("wrap-around reservation must fit")
+	}
+	if len(r.Spans) != 1 {
+		t.Fatalf("single-unit reservation has %d spans", len(r.Spans))
+	}
+	u := r.PrimaryUnit()
+	// Rows 3,4,5 of that unit remain free.
+	if !tb.fits(FPU, u, 3, 3) {
+		t.Error("rows 3..5 must be free")
+	}
+	if tb.fits(FPU, u, 2, 1) || tb.fits(FPU, u, 0, 1) {
+		t.Error("wrapped rows must be busy")
+	}
+	// The second FPU is untouched.
+	other := 1 - u
+	if !tb.fits(FPU, other, 0, 8) {
+		t.Error("other unit must be fully free")
+	}
+}
+
+// TestMultiUnitReservation models a non-pipelined divide at an II below
+// its occupancy: the reservation spans several units, as the hardware's
+// round-robin across dividers allows.
+func TestMultiUnitReservation(t *testing.T) {
+	tb := New(10, 1, 2) // II=10, 2 FPUs
+	// A 19-row reservation = 1 full unit + 9 rows of another.
+	r, ok := tb.Place(FPU, 0, 19)
+	if !ok {
+		t.Fatal("19-row reservation must fit 2 FPUs at II=10")
+	}
+	total := 0
+	for _, sp := range r.Spans {
+		total += sp.Occ
+	}
+	if total != 19 {
+		t.Errorf("spans cover %d rows, want 19", total)
+	}
+	if tb.Used(FPU) != 19 {
+		t.Errorf("Used = %d, want 19", tb.Used(FPU))
+	}
+	// One more row is free (20 - 19): a 1-row op fits, a second does not.
+	if _, ok := tb.Place(FPU, 9, 1); !ok {
+		t.Error("the last free row must accept a 1-row op")
+	}
+	if _, ok := tb.Place(FPU, 0, 1); ok {
+		t.Error("class is now full")
+	}
+	// Release restores everything.
+	tb.Release(r)
+	if tb.Used(FPU) != 1 {
+		t.Errorf("Used after release = %d, want 1", tb.Used(FPU))
+	}
+}
+
+func TestMultiUnitReservationFailsWhenShort(t *testing.T) {
+	tb := New(4, 1, 2)
+	// 9 rows need 2 full units + 1 more row: only 2 units exist.
+	if _, ok := tb.Place(FPU, 0, 9); ok {
+		t.Error("9 rows cannot fit 2 units at II=4")
+	}
+	if tb.Used(FPU) != 0 {
+		t.Errorf("failed placement must reserve nothing, used=%d", tb.Used(FPU))
+	}
+	// Exactly 8 rows = both units fully.
+	if _, ok := tb.Place(FPU, 0, 8); !ok {
+		t.Error("8 rows must fit 2 units at II=4")
+	}
+}
+
+func TestPlaceExact(t *testing.T) {
+	tb := New(4, 2, 2)
+	r, ok := tb.Place(Mem, 1, 2)
+	if !ok {
+		t.Fatal("placement must fit")
+	}
+	tb.Release(r)
+	// Replay the same reservation.
+	if !tb.PlaceExact(r) {
+		t.Fatal("PlaceExact of a released reservation must succeed")
+	}
+	// Replaying again conflicts.
+	if tb.PlaceExact(r) {
+		t.Fatal("double PlaceExact must fail")
+	}
+	// Out-of-range unit fails cleanly.
+	bad := Reservation{Class: Mem, Spans: []Span{{Unit: 9, Cycle: 0, Occ: 1}}}
+	if tb.PlaceExact(bad) {
+		t.Fatal("out-of-range unit must fail")
+	}
+}
+
+func TestPlaceExactRollsBackOnPartialConflict(t *testing.T) {
+	tb := New(4, 1, 3)
+	// Occupy rows 0..1 of unit 1.
+	blocker := Reservation{Class: FPU, Spans: []Span{{Unit: 1, Cycle: 0, Occ: 2}}}
+	if !tb.PlaceExact(blocker) {
+		t.Fatal("setup failed")
+	}
+	// A two-span reservation whose second span conflicts must roll back.
+	r := Reservation{Class: FPU, Spans: []Span{
+		{Unit: 0, Cycle: 0, Occ: 4},
+		{Unit: 1, Cycle: 0, Occ: 2},
+	}}
+	if tb.PlaceExact(r) {
+		t.Fatal("conflicting reservation must fail")
+	}
+	if tb.Used(FPU) != 2 {
+		t.Errorf("rollback failed: used = %d, want 2", tb.Used(FPU))
+	}
+	// Unit 0 must be fully free again.
+	if !tb.fits(FPU, 0, 0, 4) {
+		t.Error("unit 0 must be free after rollback")
+	}
+}
+
+func TestReleasePanicsOnUnreserved(t *testing.T) {
+	tb := New(4, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of an unreserved row must panic")
+		}
+	}()
+	tb.Release(Reservation{Class: Mem, Spans: []Span{{Unit: 0, Cycle: 0, Occ: 1}}})
+}
+
+func TestPlacePanicsOnNonPositiveOcc(t *testing.T) {
+	tb := New(4, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Place with occ 0 must panic")
+		}
+	}()
+	tb.Place(Mem, 0, 0)
+}
+
+func TestRowFree(t *testing.T) {
+	tb := New(3, 1, 2)
+	if !tb.RowFree(FPU, 0, 1) {
+		t.Error("empty table must have free rows")
+	}
+	if !tb.RowFree(FPU, 0, 5) { // 1 full unit + 2 rows
+		t.Error("5 rows must fit 2 empty units at II=3")
+	}
+	if tb.RowFree(FPU, 0, 7) { // needs 2 full + 1
+		t.Error("7 rows cannot fit 2 units at II=3")
+	}
+	tb.Place(FPU, 0, 3)
+	if !tb.RowFree(FPU, 1, 2) {
+		t.Error("second unit must still be free")
+	}
+	tb.Place(FPU, 0, 3)
+	if tb.RowFree(FPU, 0, 1) {
+		t.Error("both units full; no free row")
+	}
+}
+
+// Property: a random sequence of place/release operations keeps the table
+// consistent — Used matches the sum of live reservations, and capacity is
+// never exceeded.
+func TestRandomizedConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		ii := 1 + rng.Intn(12)
+		buses := 1 + rng.Intn(4)
+		fpus := 1 + rng.Intn(8)
+		tb := New(ii, buses, fpus)
+		type live struct {
+			r   Reservation
+			occ int
+		}
+		var lives []live
+		for step := 0; step < 200; step++ {
+			if rng.Float64() < 0.6 || len(lives) == 0 {
+				c := Class(rng.Intn(2))
+				maxOcc := ii * tb.Units(c)
+				occ := 1 + rng.Intn(maxOcc)
+				cycle := rng.Intn(3*ii) - ii
+				if r, ok := tb.Place(c, cycle, occ); ok {
+					total := 0
+					for _, sp := range r.Spans {
+						total += sp.Occ
+					}
+					if total != occ {
+						t.Fatalf("trial %d: reservation covers %d, want %d", trial, total, occ)
+					}
+					lives = append(lives, live{r, occ})
+				}
+			} else {
+				i := rng.Intn(len(lives))
+				tb.Release(lives[i].r)
+				lives[i] = lives[len(lives)-1]
+				lives = lives[:len(lives)-1]
+			}
+			want := map[Class]int{}
+			for _, lv := range lives {
+				want[lv.r.Class] += lv.occ
+			}
+			for _, c := range []Class{Mem, FPU} {
+				if tb.Used(c) != want[c] {
+					t.Fatalf("trial %d step %d: Used(%v)=%d, want %d",
+						trial, step, c, tb.Used(c), want[c])
+				}
+				if tb.Used(c) > tb.Units(c)*ii {
+					t.Fatalf("capacity exceeded for %v", c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package perfcost is the performance/cost design-space engine of the
+// paper's Section 5: it evaluates configurations XwY(Z:n) — X buses, 2X
+// FPUs of width Y, Z registers in n partitions — under a technology's area
+// budget, with the cycle time set by the register file access time and the
+// FPU latencies adapted to the cycle time.
+//
+// For each configuration the engine:
+//
+//  1. prices the FPUs + register file (area package) and discards
+//     configurations over the budget (Table 5);
+//  2. derives the relative cycle time Tc from the access-time model
+//     (timing package) and selects the z = ceil(4/Tc) cycle model
+//     (Table 6);
+//  3. width-transforms every workbench loop (widen), software-pipelines it
+//     under the register file size with spill insertion (sched, spill),
+//     and accumulates trips x II / width machine cycles;
+//  4. reports time = cycles x Tc, comparable across configurations; the
+//     Section 5 baseline is 1w1(32:1) under the 4-cycles model.
+//
+// Schedule results are cached by (config, registers, cycle model) — the
+// partition count affects only the cycle time — and the workbench is
+// evaluated on all CPUs.
+package perfcost
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/area"
+	"repro/internal/ddg"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/spill"
+	"repro/internal/timing"
+	"repro/internal/widen"
+)
+
+// Engine evaluates configurations over a fixed workbench.
+type Engine struct {
+	loops  []*ddg.Loop
+	timing timing.Model
+	budget float64
+	spill  *spill.Options
+	// workers bounds scheduling parallelism (defaults to GOMAXPROCS).
+	workers int
+
+	mu      sync.Mutex
+	widened map[int][]*ddg.Loop
+	suites  map[suiteKey]SuiteResult
+	peak    map[peakKey]float64
+}
+
+type suiteKey struct {
+	buses, width, regs, z int
+}
+
+type peakKey struct {
+	buses, width, z int
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Timing overrides the access-time model (default timing.Default).
+	Timing *timing.Model
+	// Budget is the die fraction for FPUs + RF (default area.DefaultBudget).
+	Budget float64
+	// Spill tunes the register-constrained scheduler.
+	Spill *spill.Options
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// New builds an engine over the given workbench.
+func New(loops []*ddg.Loop, opts *Options) *Engine {
+	e := &Engine{
+		loops:   loops,
+		timing:  timing.Default,
+		budget:  area.DefaultBudget,
+		workers: runtime.GOMAXPROCS(0),
+		widened: map[int][]*ddg.Loop{},
+		suites:  map[suiteKey]SuiteResult{},
+		peak:    map[peakKey]float64{},
+	}
+	if opts != nil {
+		if opts.Timing != nil {
+			e.timing = *opts.Timing
+		}
+		if opts.Budget != 0 {
+			e.budget = opts.Budget
+		}
+		e.spill = opts.Spill
+		if opts.Workers > 0 {
+			e.workers = opts.Workers
+		}
+	}
+	return e
+}
+
+// NewDefault builds an engine over the calibrated default workbench.
+func NewDefault() (*Engine, error) {
+	loops, err := loopgen.Workbench(loopgen.Defaults())
+	if err != nil {
+		return nil, err
+	}
+	return New(loops, nil), nil
+}
+
+// Loops returns the engine's workbench.
+func (e *Engine) Loops() []*ddg.Loop { return e.loops }
+
+// Budget returns the area budget fraction.
+func (e *Engine) Budget() float64 { return e.budget }
+
+// Timing returns the access-time model in use.
+func (e *Engine) Timing() timing.Model { return e.timing }
+
+// widenedLoops returns the workbench transformed for a width, cached.
+func (e *Engine) widenedLoops(width int) []*ddg.Loop {
+	e.mu.Lock()
+	if w, ok := e.widened[width]; ok {
+		e.mu.Unlock()
+		return w
+	}
+	e.mu.Unlock()
+
+	out := make([]*ddg.Loop, len(e.loops))
+	for i, l := range e.loops {
+		out[i], _ = widen.Transform(l, width)
+	}
+	e.mu.Lock()
+	e.widened[width] = out
+	e.mu.Unlock()
+	return out
+}
+
+// SuiteResult aggregates register-constrained scheduling over the
+// workbench for one (configuration, register file size, cycle model).
+type SuiteResult struct {
+	// OK is false when more than one percent of the workbench cannot be
+	// software-pipelined within the register file (the paper's 8w1 32-RF
+	// case). Isolated stragglers (at most 1%) are instead charged their
+	// non-pipelined flat-schedule cost — the compiler giving up on
+	// pipelining that one loop — and counted in Failures.
+	OK bool
+	// Failures counts loops that could not be software-pipelined.
+	Failures int
+	// Cycles is the weighted machine-cycle count: sum over loops of
+	// trips x II / width.
+	Cycles float64
+	// SpilledLoops counts loops that needed spill code.
+	SpilledLoops int
+	// SpillOps counts inserted spill stores and loads.
+	SpillOps int
+}
+
+// SuiteCycles schedules the whole workbench on XwY with the given register
+// file size under a cycle model, with spill insertion. Results are cached.
+func (e *Engine) SuiteCycles(c machine.Config, regs int, model machine.CycleModel) SuiteResult {
+	key := suiteKey{c.Buses, c.Width, regs, model.Z}
+	e.mu.Lock()
+	if r, ok := e.suites[key]; ok {
+		e.mu.Unlock()
+		return r
+	}
+	e.mu.Unlock()
+
+	loops := e.widenedLoops(c.Width)
+	m := machine.New(c, regs, model)
+
+	type partial struct {
+		cycles   float64
+		failed   bool
+		spilled  bool
+		spillOps int
+	}
+	parts := make([]partial, len(loops))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i := range loops {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			r, err := spill.Schedule(loops[i], m, e.spill)
+			if err != nil || !r.OK {
+				// Charge the loop its non-pipelined cost: one flat
+				// schedule span per (unrolled) iteration. Registers at
+				// the flat schedule are not re-checked — the abstraction
+				// here is "the compiler emits unpipelined code".
+				parts[i].failed = true
+				if flat, ferr := sched.ModuloSchedule(loops[i],
+					machine.New(c, 1<<20, model), nil); ferr == nil {
+					parts[i].cycles = float64(e.loops[i].Trips) *
+						float64(flat.Length()) / float64(c.Width)
+				}
+				return
+			}
+			parts[i].cycles = float64(e.loops[i].Trips) * float64(r.II()) / float64(c.Width)
+			parts[i].spilled = r.SpillStores+r.SpillLoads > 0
+			parts[i].spillOps = r.SpillStores + r.SpillLoads
+		}(i)
+	}
+	wg.Wait()
+
+	res := SuiteResult{}
+	for _, p := range parts {
+		res.Cycles += p.cycles
+		if p.failed {
+			res.Failures++
+			continue
+		}
+		if p.spilled {
+			res.SpilledLoops++
+		}
+		res.SpillOps += p.spillOps
+	}
+	// Isolated stragglers ride on the flat-schedule fallback; a point
+	// where pipelining fails broadly is reported unschedulable.
+	res.OK = res.Failures*100 <= len(loops)
+
+	e.mu.Lock()
+	e.suites[key] = res
+	e.mu.Unlock()
+	return res
+}
+
+// PeakCycles returns the weighted MII-bound cycle count of the workbench
+// on XwY under a cycle model with perfect scheduling and infinite
+// registers — the Section 3.1 ILP limit.
+func (e *Engine) PeakCycles(c machine.Config, model machine.CycleModel) float64 {
+	key := peakKey{c.Buses, c.Width, model.Z}
+	e.mu.Lock()
+	if v, ok := e.peak[key]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+
+	loops := e.widenedLoops(c.Width)
+	cycles := make([]float64, len(loops))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i := range loops {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			ii := loops[i].MII(model, c.Buses, c.FPUs())
+			cycles[i] = float64(e.loops[i].Trips) * float64(ii) / float64(c.Width)
+		}(i)
+	}
+	wg.Wait()
+	var total float64
+	for _, v := range cycles {
+		total += v
+	}
+	e.mu.Lock()
+	e.peak[key] = total
+	e.mu.Unlock()
+	return total
+}
+
+// PeakSpeedup returns the Figure 2 metric: the ILP-limit speed-up of XwY
+// over 1w1 under the 4-cycles model.
+func (e *Engine) PeakSpeedup(c machine.Config) float64 {
+	base := e.PeakCycles(machine.Config{Buses: 1, Width: 1}, machine.FourCycle)
+	return base / e.PeakCycles(c, machine.FourCycle)
+}
+
+// Point is one evaluated design: a configuration with a register file size
+// and partitioning, priced and timed for the Section 5 study.
+type Point struct {
+	Config     machine.Config
+	Regs       int
+	Partitions int
+	// Tc is the relative cycle time (1w1 32-RF = 1).
+	Tc float64
+	// Z is the selected cycle model.
+	Z int
+	// Cycles is the weighted machine-cycle count (with spill effects).
+	Cycles float64
+	// Time is Cycles x Tc: the comparable execution time.
+	Time float64
+	// Area is the FPU + RF area in λ².
+	Area float64
+	// OK is false when some loops cannot be scheduled at this register
+	// file size.
+	OK bool
+	// Failures, SpilledLoops and SpillOps carry the suite diagnostics.
+	Failures     int
+	SpilledLoops int
+	SpillOps     int
+}
+
+// Label renders the paper's XwY(Z:n) notation.
+func (p Point) Label() string {
+	return fmt.Sprintf("%s(%d:%d)", p.Config, p.Regs, p.Partitions)
+}
+
+// DieFraction returns the point's share of a technology's die.
+func (p Point) DieFraction(tech area.Technology) float64 {
+	return p.Area / tech.ChipLambda2
+}
+
+// Evaluate prices and times one design point.
+func (e *Engine) Evaluate(c machine.Config, regs, partitions int) Point {
+	tc := e.timing.Relative(c, regs, partitions)
+	model := machine.ModelForCycleTime(tc)
+	suite := e.SuiteCycles(c, regs, model)
+	p := Point{
+		Config:       c,
+		Regs:         regs,
+		Partitions:   partitions,
+		Tc:           tc,
+		Z:            model.Z,
+		Cycles:       suite.Cycles,
+		Time:         suite.Cycles * tc,
+		Area:         area.Total(c, regs, partitions),
+		OK:           suite.OK,
+		Failures:     suite.Failures,
+		SpilledLoops: suite.SpilledLoops,
+		SpillOps:     suite.SpillOps,
+	}
+	return p
+}
+
+// Baseline returns the Section 5 reference point: 1w1(32:1), whose cycle
+// time is 1 and whose cycle model is 4-cycles by construction.
+func (e *Engine) Baseline() Point {
+	return e.Evaluate(machine.Config{Buses: 1, Width: 1}, 32, 1)
+}
+
+// Speedup returns the point's speed-up over the Section 5 baseline.
+func (e *Engine) Speedup(p Point) float64 {
+	if !p.OK || p.Time == 0 {
+		return 0
+	}
+	return e.Baseline().Time / p.Time
+}
+
+// Implementable enumerates every design point (configurations up to
+// maxFactor, the paper's register file sizes, all valid partitions) that
+// fits the engine's area budget in the given technology.
+func (e *Engine) Implementable(tech area.Technology, maxFactor int) []Point {
+	var out []Point
+	for _, c := range machine.ConfigsUpToFactor(maxFactor) {
+		for _, regs := range machine.RegFileSizes {
+			for _, parts := range c.ValidPartitions() {
+				if !area.Implementable(c, regs, parts, tech, e.budget) {
+					continue
+				}
+				out = append(out, e.Evaluate(c, regs, parts))
+			}
+		}
+	}
+	return out
+}
+
+// TopFive returns the five best implementable design points of a
+// technology by execution time (Figure 9), excluding points whose
+// workbench does not fully schedule.
+func (e *Engine) TopFive(tech area.Technology, maxFactor int) []Point {
+	pts := e.Implementable(tech, maxFactor)
+	ok := pts[:0]
+	for _, p := range pts {
+		if p.OK {
+			ok = append(ok, p)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].Time != ok[j].Time {
+			return ok[i].Time < ok[j].Time
+		}
+		return ok[i].Area < ok[j].Area // cheaper wins ties
+	})
+	if len(ok) > 5 {
+		ok = ok[:5]
+	}
+	return ok
+}
+
+// SpillRow is one bar group of Figure 3: a configuration's speed-up per
+// register file size under the fixed 4-cycles model, relative to 1w1 with
+// 256 registers.
+type SpillRow struct {
+	Config machine.Config
+	// Speedup maps register file size to speed-up; unschedulable entries
+	// (the paper's 8w1 32-RF) are absent.
+	Speedup map[int]float64
+}
+
+// SpillStudy computes Figure 3 for the given configurations.
+func (e *Engine) SpillStudy(configs []machine.Config) []SpillRow {
+	base := e.SuiteCycles(machine.Config{Buses: 1, Width: 1}, 256, machine.FourCycle)
+	rows := make([]SpillRow, 0, len(configs))
+	for _, c := range configs {
+		row := SpillRow{Config: c, Speedup: map[int]float64{}}
+		for _, regs := range machine.RegFileSizes {
+			r := e.SuiteCycles(c, regs, machine.FourCycle)
+			if !r.OK {
+				continue
+			}
+			row.Speedup[regs] = base.Cycles / r.Cycles
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

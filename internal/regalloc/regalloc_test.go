@@ -1,0 +1,301 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/lifetimes"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func set(ii int, vals ...lifetimes.Value) *lifetimes.Set {
+	return &lifetimes.Set{II: ii, Values: vals}
+}
+
+func TestOverlaps(t *testing.T) {
+	circ := 12
+	cases := []struct {
+		a, b arc
+		want bool
+	}{
+		{arc{0, 4}, arc{4, 4}, false},
+		{arc{0, 4}, arc{3, 2}, true},
+		{arc{10, 4}, arc{0, 2}, true},   // a wraps into b
+		{arc{10, 2}, arc{0, 10}, false}, // the two tile the circle exactly
+		{arc{10, 3}, arc{0, 10}, true},  // a wraps one cycle into b
+		{arc{10, 2}, arc{0, 2}, false},
+		{arc{0, 12}, arc{5, 1}, true}, // full circle overlaps all
+	}
+	for _, c := range cases {
+		if got := overlaps(c.a, c.b, circ); got != c.want {
+			t.Errorf("overlaps(%+v, %+v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := overlaps(c.b, c.a, circ); got != c.want {
+			t.Errorf("overlaps(%+v, %+v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestAllocateEmpty(t *testing.T) {
+	a, err := Allocate(set(4), 32, EndFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Regs != 0 {
+		t.Errorf("empty set needs %d regs, want 0", a.Regs)
+	}
+	if err := a.Validate(set(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateSingle(t *testing.T) {
+	s := set(4, lifetimes.Value{Op: 0, Start: 0, Len: 4})
+	a, err := Allocate(s, 32, EndFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Regs != 1 {
+		t.Errorf("Regs = %d, want 1", a.Regs)
+	}
+	if err := a.Validate(s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocateAtMaxLive(t *testing.T) {
+	// Three staggered II-long lifetimes: pressure 3 everywhere... II=2,
+	// lengths 6: MaxLive = 3 each contributing 3 per row.
+	s := set(2,
+		lifetimes.Value{Op: 0, Start: 0, Len: 6},
+		lifetimes.Value{Op: 1, Start: 1, Len: 6},
+	)
+	lower := s.MaxLive()
+	a, err := Allocate(s, 64, EndFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if a.Regs < lower {
+		t.Errorf("Regs = %d below MaxLive %d", a.Regs, lower)
+	}
+	if a.Regs > lower+1 {
+		t.Errorf("Regs = %d, want within 1 of MaxLive %d", a.Regs, lower)
+	}
+}
+
+func TestAllocateRespectsCap(t *testing.T) {
+	vals := make([]lifetimes.Value, 10)
+	for i := range vals {
+		vals[i] = lifetimes.Value{Op: i, Start: 0, Len: 4}
+	}
+	s := set(4, vals...)
+	// MaxLive = 10; cap of 5 must fail.
+	if _, err := Allocate(s, 5, EndFit); err == nil {
+		t.Error("allocation beyond the cap must fail")
+	}
+	if a, err := Allocate(s, 16, EndFit); err != nil || a.Regs != 10 {
+		t.Errorf("a=%+v err=%v, want 10 regs", a, err)
+	}
+}
+
+func TestTryAllocateRejectsOversizeLifetime(t *testing.T) {
+	// A lifetime longer than regs*II cannot be placed.
+	s := set(2, lifetimes.Value{Op: 0, Start: 0, Len: 9})
+	if _, ok := TryAllocate(s, 4, EndFit); ok {
+		t.Error("lifetime of 9 cannot fit a torus of 8")
+	}
+	if _, ok := TryAllocate(s, 5, EndFit); !ok {
+		t.Error("lifetime of 9 must fit a torus of 10")
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	s := set(4,
+		lifetimes.Value{Op: 0, Start: 0, Len: 4},
+		lifetimes.Value{Op: 1, Start: 2, Len: 4},
+	)
+	bad := &Allocation{Regs: 2, II: 4, Offset: []int{0, 0}}
+	if err := bad.Validate(s); err == nil {
+		t.Error("overlapping arcs must fail validation")
+	}
+	// At R=2 (torus of 8) two length-4 arcs at phases 0 and 2 always
+	// collide; R=3 with offsets 0 and 1 puts them at [0,4) and [6,10) on a
+	// torus of 12 — disjoint.
+	good := &Allocation{Regs: 3, II: 4, Offset: []int{0, 1}}
+	if err := good.Validate(s); err != nil {
+		t.Errorf("disjoint arcs must validate: %v", err)
+	}
+	short := &Allocation{Regs: 2, II: 4, Offset: []int{0}}
+	if err := short.Validate(s); err == nil {
+		t.Error("offset count mismatch must fail")
+	}
+	oob := &Allocation{Regs: 2, II: 4, Offset: []int{0, 7}}
+	if err := oob.Validate(s); err == nil {
+		t.Error("out-of-range offset must fail")
+	}
+}
+
+func TestMinRegsFallbackBound(t *testing.T) {
+	// MinRegs never exceeds the private-band bound.
+	s := set(3,
+		lifetimes.Value{Op: 0, Start: 0, Len: 7},
+		lifetimes.Value{Op: 1, Start: 1, Len: 5},
+		lifetimes.Value{Op: 2, Start: 2, Len: 2},
+	)
+	bands := 3 + 2 + 1
+	got := MinRegs(s, EndFit)
+	if got > bands {
+		t.Errorf("MinRegs = %d exceeds band bound %d", got, bands)
+	}
+	if got < s.MaxLive() {
+		t.Errorf("MinRegs = %d below MaxLive %d", got, s.MaxLive())
+	}
+}
+
+// Property: on random lifetime sets (including adversarial many-wrap arc
+// mixes far denser than real loop lifetimes), both strategies produce
+// validating allocations at their MinRegs size, never below MaxLive and
+// with bounded excess. The tight within-1-of-MaxLive contract is asserted
+// separately on real scheduled loops, where it actually holds (Rau et al.
+// report it empirically on loop workloads, not adversarial arc sets).
+func TestAllocateRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	excess := map[Strategy]int{}
+	trials := 150
+	for trial := 0; trial < trials; trial++ {
+		ii := 1 + rng.Intn(10)
+		n := 1 + rng.Intn(24)
+		s := &lifetimes.Set{II: ii}
+		for i := 0; i < n; i++ {
+			s.Values = append(s.Values, lifetimes.Value{
+				Op:    i,
+				Start: rng.Intn(6 * ii),
+				Len:   1 + rng.Intn(4*ii),
+			})
+		}
+		lower := s.MaxLive()
+		for _, strat := range []Strategy{EndFit, FirstFit} {
+			r := MinRegs(s, strat)
+			if r < lower {
+				t.Fatalf("trial %d: %v regs %d below MaxLive %d", trial, strat, r, lower)
+			}
+			a, ok := TryAllocate(s, r, strat)
+			if !ok {
+				t.Fatalf("trial %d: MinRegs=%d not allocatable", trial, r)
+			}
+			if err := a.Validate(s); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if r > lower+max(3, lower/4) {
+				t.Fatalf("trial %d: %v regs %d too far above MaxLive %d",
+					trial, strat, r, lower)
+			}
+			excess[strat] += r - lower
+		}
+	}
+	// Even on adversarial sets, the average excess stays small.
+	if avg := float64(excess[EndFit]) / float64(trials); avg > 2.0 {
+		t.Errorf("end-fit averages %.2f registers over MaxLive, want <= 2", avg)
+	}
+}
+
+// TestEndFitNearMaxLiveOnScheduledLoops asserts the Rau et al. contract on
+// real modulo-scheduled loops: end-fit allocation within ~1 register of
+// MaxLive on average.
+func TestEndFitNearMaxLiveOnScheduledLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg, _ := machine.ParseConfig("2w1")
+	m := machine.New(cfg, 256, machine.FourCycle)
+	totalExcess, trials := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		l := randomSchedulableLoop(rng, 4+rng.Intn(16))
+		s, err := sched.ModuloSchedule(l, m, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ls := lifetimes.Compute(s)
+		r := MinRegs(ls, EndFit)
+		if r < ls.MaxLive() {
+			t.Fatalf("trial %d: regs below MaxLive", trial)
+		}
+		totalExcess += r - ls.MaxLive()
+		trials++
+	}
+	if avg := float64(totalExcess) / float64(trials); avg > 1.0 {
+		t.Errorf("end-fit on scheduled loops averages %.2f over MaxLive, want <= 1", avg)
+	}
+}
+
+// randomSchedulableLoop builds a loop with realistic dataflow (chains with
+// occasional recurrences) rather than adversarial density.
+func randomSchedulableLoop(rng *rand.Rand, nOps int) *ddg.Loop {
+	b := ddg.NewBuilder("rand", 100)
+	var results []int
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			results = append(results, b.Load(1, ""))
+		case 1:
+			st := b.Store(1, "")
+			if len(results) > 0 {
+				b.Flow(results[rng.Intn(len(results))], st, 0)
+			}
+		default:
+			op := b.Op(machine.Add, "")
+			if len(results) > 0 {
+				b.Flow(results[rng.Intn(len(results))], op, 0)
+			}
+			if rng.Float64() < 0.1 {
+				b.Flow(op, op, 1)
+			}
+			results = append(results, op)
+		}
+	}
+	return b.Build()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// End-to-end: schedule a real loop, compute lifetimes, allocate, validate.
+func TestAllocateScheduledLoop(t *testing.T) {
+	b := ddg.NewBuilder("e2e", 100)
+	var stores []int
+	for i := 0; i < 4; i++ {
+		ld := b.Load(1, "")
+		m1 := b.Op(machine.Mul, "")
+		a1 := b.Op(machine.Add, "")
+		st := b.Store(1, "")
+		b.Flow(ld, m1, 0)
+		b.Flow(m1, a1, 0)
+		b.Flow(a1, st, 0)
+		stores = append(stores, st)
+	}
+	l := b.Build()
+	cfg, _ := machine.ParseConfig("2w1")
+	s, err := sched.ModuloSchedule(l, machine.New(cfg, 256, machine.FourCycle), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := lifetimes.Compute(s)
+	a, err := Allocate(ls, 256, EndFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(ls); err != nil {
+		t.Fatal(err)
+	}
+	if a.Regs < ls.MaxLive() || a.Regs > ls.MaxLive()+3 {
+		t.Errorf("Regs = %d for MaxLive %d", a.Regs, ls.MaxLive())
+	}
+	_ = stores
+}

@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// OrderFunc lists the operations of a loop in scheduling order.
+type OrderFunc func(l *ddg.Loop, model machine.CycleModel) []int
+
+// HRMSOrder implements the HRMS-family node ordering: recurrence components
+// are seeded most-critical first (highest per-component RecMII), and every
+// subsequent operation is chosen among the neighbours of the already
+// ordered set, most critical (least slack) first. The effect is that when
+// the placement phase schedules an operation, its graph neighbours were
+// just scheduled, so it lands close to them and value lifetimes stay short
+// — the register-pressure-sensitivity that HRMS (and its successor Swing
+// Modulo Scheduling) brings over plain top-down list ordering.
+func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
+	n := l.NumOps()
+	if n == 0 {
+		return nil
+	}
+	asap := l.ASAP(model)
+	alap := l.ALAP(model)
+	slack := make([]int, n)
+	for v := 0; v < n; v++ {
+		slack[v] = alap[v] - asap[v]
+	}
+
+	// Per-node recurrence criticality: the RecMII of the node's component
+	// (0 for nodes outside recurrences).
+	recPrio := make([]int, n)
+	for _, comp := range l.SCCs() {
+		if len(comp) == 1 && !hasSelfEdge(l, comp[0]) {
+			continue
+		}
+		sub := componentRecMII(l, comp, model)
+		for _, v := range comp {
+			recPrio[v] = sub
+		}
+	}
+
+	// Undirected adjacency for frontier expansion.
+	adj := make([][]int, n)
+	for _, e := range l.Edges {
+		if e.From != e.To {
+			adj[e.From] = append(adj[e.From], e.To)
+			adj[e.To] = append(adj[e.To], e.From)
+		}
+	}
+
+	ordered := make([]bool, n)
+	frontier := make([]bool, n) // unordered nodes adjacent to ordered set
+	var order []int
+
+	// Occupancy priority: non-pipelined operations reserve many rows and
+	// fragment badly if placed late, so they go as early as the frontier
+	// allows.
+	occ := make([]int, n)
+	for v := range occ {
+		occ[v] = model.Occupancy(l.Ops[v].Kind)
+	}
+
+	better := func(a, b int) bool {
+		// Higher recurrence criticality first, then heavier reservations,
+		// then less slack, then earlier ASAP, then ID for determinism.
+		if recPrio[a] != recPrio[b] {
+			return recPrio[a] > recPrio[b]
+		}
+		if occ[a] != occ[b] {
+			return occ[a] > occ[b]
+		}
+		if slack[a] != slack[b] {
+			return slack[a] < slack[b]
+		}
+		if asap[a] != asap[b] {
+			return asap[a] < asap[b]
+		}
+		return a < b
+	}
+
+	pickFrontier := func() int {
+		best := -1
+		for v := 0; v < n; v++ {
+			if frontier[v] && !ordered[v] && (best == -1 || better(v, best)) {
+				best = v
+			}
+		}
+		return best
+	}
+
+	pickSeed := func() int {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !ordered[v] && (best == -1 || better(v, best)) {
+				best = v
+			}
+		}
+		return best
+	}
+
+	add := func(v int) {
+		ordered[v] = true
+		order = append(order, v)
+		for _, w := range adj[v] {
+			if !ordered[w] {
+				frontier[w] = true
+			}
+		}
+	}
+
+	for len(order) < n {
+		v := pickFrontier()
+		if v == -1 {
+			v = pickSeed()
+		}
+		add(v)
+	}
+	return order
+}
+
+func hasSelfEdge(l *ddg.Loop, v int) bool {
+	for _, e := range l.Edges {
+		if e.From == v && e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// componentRecMII computes the recurrence bound of a single component by
+// building a sub-loop of just that component and reusing ddg.RecMII.
+func componentRecMII(l *ddg.Loop, comp []int, model machine.CycleModel) int {
+	idx := make(map[int]int, len(comp))
+	sorted := append([]int(nil), comp...)
+	sort.Ints(sorted)
+	sub := &ddg.Loop{Name: l.Name + "/scc", Trips: 1}
+	for i, v := range sorted {
+		idx[v] = i
+		op := l.Ops[v]
+		op.ID = i
+		sub.Ops = append(sub.Ops, op)
+	}
+	for _, e := range l.Edges {
+		fi, okF := idx[e.From]
+		ti, okT := idx[e.To]
+		if okF && okT {
+			sub.Edges = append(sub.Edges, ddg.Edge{From: fi, To: ti, Dist: e.Dist})
+		}
+	}
+	return sub.RecMII(model)
+}
+
+// NaiveOrder is the ablation baseline: plain topological (ASAP-then-ID)
+// order with no neighbour affinity. Schedules built from it are valid but
+// stretch lifetimes, inflating register pressure (see BenchmarkAblation
+// and the ordering comparison test).
+func NaiveOrder(l *ddg.Loop, model machine.CycleModel) []int {
+	n := l.NumOps()
+	asap := l.ASAP(model)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if asap[a] != asap[b] {
+			return asap[a] < asap[b]
+		}
+		return a < b
+	})
+	return order
+}

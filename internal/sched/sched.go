@@ -1,0 +1,500 @@
+// Package sched implements modulo scheduling (software pipelining) for the
+// VLIW machines of the paper.
+//
+// The paper schedules its 1180-loop workbench with Hypernode Reduction
+// Modulo Scheduling (HRMS, Llosa et al., MICRO-28), a register-pressure
+// sensitive heuristic that achieves near-optimal initiation intervals. We
+// implement the HRMS-family algorithm in two phases:
+//
+//  1. an ordering phase that lists the operations so that every operation
+//     is scheduled as close as possible to its already-scheduled neighbours
+//     (recurrence components first, most critical first) — this is what
+//     keeps value lifetimes, and hence register pressure, low;
+//  2. a placement phase that assigns each operation a cycle and a
+//     reservation in a modulo reservation table, scanning forward from its
+//     earliest start when predecessors are placed, backward from its latest
+//     start when successors are placed. When a window is closed or full,
+//     the phase falls back to the forced placement with eviction of Rau's
+//     iterative modulo scheduling (the paper's reference [20]). The II
+//     starts at MII = max(ResMII, RecMII) and increases until the loop
+//     fits.
+//
+// The result is a flat schedule: an absolute start cycle per operation; row
+// (cycle mod II) and stage (cycle div II) derive from it.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/mrt"
+)
+
+// Schedule is a valid modulo schedule of a loop on a machine.
+type Schedule struct {
+	// Loop is the scheduled loop (the transformed loop when widening).
+	Loop *ddg.Loop
+	// II is the initiation interval in cycles.
+	II int
+	// Time[v] is the absolute start cycle of operation v (>= 0).
+	Time []int
+	// Res[v] is the reservation operation v holds in the modulo
+	// reservation table.
+	Res []mrt.Reservation
+	// Model, Buses and FPUs record the machine the schedule targets.
+	Model machine.CycleModel
+	Buses int
+	FPUs  int
+}
+
+// Row returns the cycle of operation v within the repeating kernel.
+func (s *Schedule) Row(v int) int { return s.Time[v] % s.II }
+
+// Stage returns the pipeline stage of operation v.
+func (s *Schedule) Stage(v int) int { return s.Time[v] / s.II }
+
+// Stages returns the number of pipeline stages (the depth of overlap).
+func (s *Schedule) Stages() int {
+	max := 0
+	for v := range s.Time {
+		if st := s.Stage(v); st > max {
+			max = st
+		}
+	}
+	return max + 1
+}
+
+// Length returns the absolute span of the schedule in cycles: the start of
+// the last operation plus one (the flat-schedule length before overlap).
+func (s *Schedule) Length() int {
+	max := 0
+	for _, t := range s.Time {
+		if t+1 > max {
+			max = t + 1
+		}
+	}
+	return max
+}
+
+// Validate checks every dependence constraint and rebuilds the reservation
+// table to confirm the resource assignment is consistent.
+func (s *Schedule) Validate() error {
+	l := s.Loop
+	if len(s.Time) != l.NumOps() || len(s.Res) != l.NumOps() {
+		return fmt.Errorf("sched: schedule arrays sized %d/%d for %d ops",
+			len(s.Time), len(s.Res), l.NumOps())
+	}
+	if s.II < 1 {
+		return fmt.Errorf("sched: invalid II %d", s.II)
+	}
+	for v, t := range s.Time {
+		if t < 0 {
+			return fmt.Errorf("sched: op %d starts at negative cycle %d", v, t)
+		}
+	}
+	for _, e := range l.Edges {
+		lat := s.Model.Latency(l.Ops[e.From].Kind)
+		if s.Time[e.To] < s.Time[e.From]+lat-s.II*e.Dist {
+			return fmt.Errorf("sched: dependence %d->%d (dist %d) violated: %d < %d+%d-%d*%d",
+				e.From, e.To, e.Dist, s.Time[e.To], s.Time[e.From], lat, s.II, e.Dist)
+		}
+	}
+	table := mrt.New(s.II, s.Buses, s.FPUs)
+	for v, op := range l.Ops {
+		res := s.Res[v]
+		if res.Class != classOf(op.Kind) {
+			return fmt.Errorf("sched: op %d (%s) holds a %s reservation", v, op.Kind, res.Class)
+		}
+		occ := 0
+		for _, sp := range res.Spans {
+			occ += sp.Occ
+		}
+		if occ != s.Model.Occupancy(op.Kind) {
+			return fmt.Errorf("sched: op %d reserves %d rows, needs %d",
+				v, occ, s.Model.Occupancy(op.Kind))
+		}
+		if len(res.Spans) == 0 || mod(res.Spans[0].Cycle, s.II) != s.Row(v) {
+			return fmt.Errorf("sched: op %d reservation does not start at its issue row", v)
+		}
+		if !table.PlaceExact(res) {
+			return fmt.Errorf("sched: op %d (%s) overlaps another reservation", v, op.Kind)
+		}
+	}
+	return nil
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func classOf(k machine.OpKind) mrt.Class {
+	if k.IsMem() {
+		return mrt.Mem
+	}
+	return mrt.FPU
+}
+
+// Format renders the kernel as a II-row table for human inspection.
+func (s *Schedule) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "II=%d stages=%d ops=%d\n", s.II, s.Stages(), s.Loop.NumOps())
+	byRow := make([][]int, s.II)
+	for v := range s.Loop.Ops {
+		r := s.Row(v)
+		byRow[r] = append(byRow[r], v)
+	}
+	for r := 0; r < s.II; r++ {
+		fmt.Fprintf(&b, "%3d:", r)
+		sort.Ints(byRow[r])
+		for _, v := range byRow[r] {
+			op := s.Loop.Ops[v]
+			name := op.Name
+			if name == "" {
+				name = fmt.Sprintf("%s%d", op.Kind, v)
+			}
+			fmt.Fprintf(&b, " %s@s%d", name, s.Stage(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Options tunes the scheduler.
+type Options struct {
+	// Order selects the ordering heuristic; nil uses HRMSOrder.
+	Order OrderFunc
+	// MinII raises the starting point of the II search above MII. The
+	// spill pass uses it to trade cycles for register pressure when no
+	// spill candidate remains.
+	MinII int
+	// MaxII caps the II search; 0 derives a safe cap from the loop (the
+	// cap at which a schedule provably exists for the greedy placement).
+	MaxII int
+}
+
+// ErrNoSchedule is returned when no II up to the cap admits a schedule.
+var ErrNoSchedule = errors.New("sched: no feasible schedule within II budget")
+
+// ModuloSchedule software-pipelines the loop onto the machine. The loop
+// must already be width-transformed for the machine (see the widen
+// package); the scheduler treats wide operations as single operations.
+func ModuloSchedule(l *ddg.Loop, m machine.Machine, opts *Options) (*Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	orderFn := o.Order
+	if orderFn == nil {
+		orderFn = HRMSOrder
+	}
+	buses, fpus := m.Slots()
+	model := m.Model
+
+	order := orderFn(l, model)
+	if len(order) != l.NumOps() {
+		return nil, fmt.Errorf("sched: ordering returned %d of %d ops", len(order), l.NumOps())
+	}
+
+	mii := l.MII(model, buses, fpus)
+	if o.MinII > mii {
+		mii = o.MinII
+	}
+	maxII := o.MaxII
+	if maxII == 0 {
+		maxII = safeMaxII(l, model, mii)
+	}
+	preds := l.Preds()
+	succs := l.Succs()
+	asap := l.ASAP(model)
+
+	for ii := mii; ii <= maxII; ii++ {
+		if s, ok := tryPlace(l, model, buses, fpus, ii, order, preds, succs, asap); ok {
+			s.Buses, s.FPUs = buses, fpus
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (MII=%d, cap=%d, loop %q)", ErrNoSchedule, mii, maxII, l.Name)
+}
+
+// safeMaxII returns an II at which the greedy placement provably succeeds:
+// large enough that any window of II rows contains a free run of the
+// largest occupancy on some unit even under worst-case fragmentation.
+func safeMaxII(l *ddg.Loop, model machine.CycleModel, mii int) int {
+	totalOcc, maxOcc := 0, 1
+	for _, op := range l.Ops {
+		occ := model.Occupancy(op.Kind)
+		totalOcc += occ
+		if occ > maxOcc {
+			maxOcc = occ
+		}
+	}
+	return mii + l.CriticalPath(model) + totalOcc*(maxOcc+1) + 8
+}
+
+// tryPlace attempts a schedule at a fixed II following the given order.
+func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
+	order []int, preds, succs [][]ddg.Edge, asap []int) (*Schedule, bool) {
+
+	n := l.NumOps()
+	time := make([]int, n)
+	res := make([]mrt.Reservation, n)
+	placed := make([]bool, n)
+	lastForced := make([]int, n)
+	table := mrt.New(ii, buses, fpus)
+
+	const inf = int(^uint(0) >> 2)
+	for v := range lastForced {
+		lastForced[v] = -inf
+	}
+	// rank[v] is v's position in the scheduling order; the next operation
+	// to (re)place is always the unplaced one with the smallest rank.
+	rank := make([]int, n)
+	for i, v := range order {
+		rank[v] = i
+	}
+
+	budget := 8*n + 64
+	remaining := n
+	frontier := 0 // latest placed start time: seeds new components nearby
+	for remaining > 0 {
+		if budget--; budget < 0 {
+			return nil, false
+		}
+		// Pick the unplaced op with the best (smallest) rank.
+		v := -1
+		for u := 0; u < n; u++ {
+			if !placed[u] && (v == -1 || rank[u] < rank[v]) {
+				v = u
+			}
+		}
+		op := l.Ops[v]
+		occ := model.Occupancy(op.Kind)
+		class := classOf(op.Kind)
+
+		estart, lstart := -inf, inf
+		hasPred, hasSucc := false, false
+		for _, e := range preds[v] {
+			if e.From == v || !placed[e.From] {
+				continue
+			}
+			hasPred = true
+			if t := time[e.From] + model.Latency(l.Ops[e.From].Kind) - ii*e.Dist; t > estart {
+				estart = t
+			}
+		}
+		for _, e := range succs[v] {
+			if e.To == v || !placed[e.To] {
+				continue
+			}
+			hasSucc = true
+			if t := time[e.To] - model.Latency(op.Kind) + ii*e.Dist; t < lstart {
+				lstart = t
+			}
+		}
+		// Self edges (dist >= 1) constrain II, not the start time, and MII
+		// already accounts for them.
+
+		var candidates []int
+		switch {
+		case hasPred && !hasSucc:
+			// Start no earlier than one II behind the frontier: a node
+			// whose predecessor sits many iterations back (e.g. a reload
+			// of a cross-iteration value) would otherwise issue absurdly
+			// early and hold its result for several kernel turns.
+			base := estart
+			if fb := frontier - ii + 1; fb > base {
+				base = fb
+			}
+			for t := base; t < base+ii; t++ {
+				candidates = append(candidates, t)
+			}
+		case !hasPred && hasSucc:
+			for t := lstart; t > lstart-ii; t-- {
+				candidates = append(candidates, t)
+			}
+		case hasPred && hasSucc:
+			hi := lstart
+			if estart+ii-1 < hi {
+				hi = estart + ii - 1
+			}
+			for t := estart; t <= hi; t++ {
+				candidates = append(candidates, t)
+			}
+		default:
+			// No placed neighbours: this seeds a new connected component.
+			// Start near the schedule frontier rather than at the flat
+			// ASAP — otherwise every independent dataflow tree issues at
+			// cycle ~0 and their lifetimes all overlap, holding register
+			// pressure at the DAG's antichain width even at enormous IIs
+			// (HRMS's whole point is scheduling each operation next to
+			// already-placed work).
+			base := asap[v]
+			if frontier > base {
+				base = frontier
+			}
+			for t := base; t < base+ii; t++ {
+				candidates = append(candidates, t)
+			}
+		}
+
+		done := false
+		for _, t := range candidates {
+			if r, ok := table.Place(class, t, occ); ok {
+				time[v], res[v], placed[v] = t, r, true
+				done = true
+				break
+			}
+		}
+		if done {
+			if time[v] > frontier {
+				frontier = time[v]
+			}
+			remaining--
+			continue
+		}
+
+		// Forced placement with eviction. Choose a forcing time that makes
+		// forward progress: never re-force the same op at the same cycle.
+		var tf int
+		switch {
+		case hasPred:
+			tf = estart
+		case hasSucc:
+			tf = lstart
+		default:
+			tf = asap[v]
+			if frontier > tf {
+				tf = frontier
+			}
+		}
+		if tf <= lastForced[v] {
+			tf = lastForced[v] + 1
+		}
+		lastForced[v] = tf
+
+		evict := func(u int) {
+			if placed[u] {
+				table.Release(res[u])
+				placed[u] = false
+				remaining++
+			}
+		}
+		// Dependence victims: placed neighbours whose constraint against
+		// time[v] = tf no longer holds.
+		for _, e := range preds[v] {
+			if e.From != v && placed[e.From] &&
+				tf < time[e.From]+model.Latency(l.Ops[e.From].Kind)-ii*e.Dist {
+				evict(e.From)
+			}
+		}
+		for _, e := range succs[v] {
+			if e.To != v && placed[e.To] &&
+				time[e.To] < tf+model.Latency(op.Kind)-ii*e.Dist {
+				evict(e.To)
+			}
+		}
+
+		// Resource victims.
+		if occ <= ii {
+			// Free one unit's conflicting rows: pick the unit of the class
+			// with the fewest conflicting reservations.
+			bestUnit, bestCount := -1, inf
+			units := unitCount(class, buses, fpus)
+			for u := 0; u < units; u++ {
+				cnt := 0
+				for w := 0; w < n; w++ {
+					if placed[w] && w != v && res[w].Class == class &&
+						reservationTouchesUnit(res[w], u, tf, occ, ii) {
+						cnt++
+					}
+				}
+				if cnt < bestCount {
+					bestUnit, bestCount = u, cnt
+				}
+			}
+			for w := 0; w < n; w++ {
+				if placed[w] && w != v && res[w].Class == class &&
+					reservationTouchesUnit(res[w], bestUnit, tf, occ, ii) {
+					evict(w)
+				}
+			}
+		} else {
+			// Multi-unit reservation: evict every operation of the class
+			// (rare: a non-pipelined op at an II below its occupancy).
+			for w := 0; w < n; w++ {
+				if placed[w] && w != v && res[w].Class == class {
+					evict(w)
+				}
+			}
+		}
+		r, ok := table.Place(class, tf, occ)
+		if !ok {
+			return nil, false // class too small for the reservation at this II
+		}
+		time[v], res[v], placed[v] = tf, r, true
+		if tf > frontier {
+			frontier = tf
+		}
+		remaining--
+	}
+
+	// Normalize to non-negative times, shifting by a multiple of II so the
+	// reservation rows stay aligned with the units.
+	min := 0
+	for _, t := range time {
+		if t < min {
+			min = t
+		}
+	}
+	if min < 0 {
+		shift := ((-min + ii - 1) / ii) * ii
+		for v := range time {
+			time[v] += shift
+			for i := range res[v].Spans {
+				res[v].Spans[i].Cycle += shift
+			}
+		}
+	}
+
+	return &Schedule{Loop: l, II: ii, Time: time, Res: res, Model: model}, true
+}
+
+func unitCount(c mrt.Class, buses, fpus int) int {
+	if c == mrt.Mem {
+		return buses
+	}
+	return fpus
+}
+
+// reservationTouchesUnit reports whether any span of r on the given unit
+// overlaps the occ rows starting at cycle tf.
+func reservationTouchesUnit(r mrt.Reservation, unit, tf, occ, ii int) bool {
+	for _, sp := range r.Spans {
+		if sp.Unit != unit {
+			continue
+		}
+		for i := 0; i < sp.Occ; i++ {
+			row := mod(sp.Cycle+i, ii)
+			for j := 0; j < occ; j++ {
+				if row == mod(tf+j, ii) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

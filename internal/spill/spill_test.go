@@ -1,0 +1,328 @@
+package spill
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/lifetimes"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+	"repro/internal/widen"
+)
+
+func mach(cfg string, regs int) machine.Machine {
+	c, err := machine.ParseConfig(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return machine.New(c, regs, machine.FourCycle)
+}
+
+// parallelChains builds n independent load -> mul -> add -> store chains:
+// high ILP, high register pressure at low II.
+func parallelChains(n int) *ddg.Loop {
+	b := ddg.NewBuilder("chains", 100)
+	for i := 0; i < n; i++ {
+		ld := b.Load(1, "")
+		m := b.Op(machine.Mul, "")
+		a := b.Op(machine.Add, "")
+		st := b.Store(1, "")
+		b.Flow(ld, m, 0)
+		b.Flow(m, a, 0)
+		b.Flow(a, st, 0)
+	}
+	return b.Build()
+}
+
+func TestNoSpillWhenFits(t *testing.T) {
+	l := parallelChains(2)
+	r, err := Schedule(l, mach("1w1", 256), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatal("must fit in 256 registers")
+	}
+	if r.SpillStores != 0 || r.SpillLoads != 0 {
+		t.Errorf("no spill expected, got %d stores %d loads", r.SpillStores, r.SpillLoads)
+	}
+	if r.Regs > 256 {
+		t.Errorf("Regs = %d", r.Regs)
+	}
+	if r.II() != r.BaseII {
+		t.Errorf("II %d != BaseII %d without spill", r.II(), r.BaseII)
+	}
+	if err := r.Sched.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpillRelievesPressure(t *testing.T) {
+	// A long-lived value: one load feeding a consumer 6 iterations later,
+	// replicated to create pressure. dist-6 use means lifetime ~ 6*II.
+	b := ddg.NewBuilder("faruse", 100)
+	for i := 0; i < 6; i++ {
+		ld := b.Load(1, "")
+		ad := b.Op(machine.Add, "")
+		st := b.Store(1, "")
+		b.Flow(ld, ad, 6) // value crosses 6 iterations
+		b.Flow(ad, st, 0)
+	}
+	l := b.Build()
+
+	m := mach("4w1", 16)
+	// Confirm the unconstrained requirement exceeds 16.
+	s0, err := sched.ModuloSchedule(l, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := regalloc.MinRegs(lifetimes.Compute(s0), regalloc.EndFit)
+	if need <= 16 {
+		t.Skipf("test premise broken: base requirement %d <= 16", need)
+	}
+
+	r, err := Schedule(l, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatal("spilling must make the loop fit 16 registers")
+	}
+	if r.SpillStores == 0 && r.II() == r.BaseII {
+		t.Error("expected spill code or II growth")
+	}
+	if r.Regs > 16 {
+		t.Errorf("final Regs = %d > 16", r.Regs)
+	}
+	if err := r.Sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Loop.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The final allocation must indeed fit.
+	if got := regalloc.MinRegs(lifetimes.Compute(r.Sched), regalloc.EndFit); got != r.Regs {
+		t.Errorf("reported Regs %d != recomputed %d", r.Regs, got)
+	}
+}
+
+func TestSpillAddsMemoryTraffic(t *testing.T) {
+	b := ddg.NewBuilder("faruse", 100)
+	for i := 0; i < 6; i++ {
+		ld := b.Load(1, "")
+		ad := b.Op(machine.Add, "")
+		b.Flow(ld, ad, 5)
+	}
+	l := b.Build()
+	r, err := Schedule(l, mach("2w1", 12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatal("must fit after spilling")
+	}
+	if r.SpillStores > 0 {
+		base := l.Counts()
+		final := r.Loop.Counts()
+		wantStores := base[machine.Store] + r.SpillStores
+		wantLoads := base[machine.Load] + r.SpillLoads
+		if final[machine.Store] != wantStores || final[machine.Load] != wantLoads {
+			t.Errorf("op counts: stores %d want %d, loads %d want %d",
+				final[machine.Store], wantStores, final[machine.Load], wantLoads)
+		}
+		// Spill ops are flagged.
+		spillOps := 0
+		for _, op := range r.Loop.Ops {
+			if op.Spill {
+				spillOps++
+			}
+		}
+		if spillOps != r.SpillStores+r.SpillLoads {
+			t.Errorf("flagged spill ops = %d, want %d", spillOps, r.SpillStores+r.SpillLoads)
+		}
+	}
+}
+
+func TestUnschedulableRecurrentPressure(t *testing.T) {
+	// Two independent accumulators: each value lives a full II (self use
+	// at distance 1), so two registers are needed at any II, and
+	// recurrence values are not spillable: a 1-register file must fail.
+	b := ddg.NewBuilder("accums", 100)
+	for i := 0; i < 2; i++ {
+		a := b.Op(machine.Add, "")
+		b.Flow(a, a, 1)
+	}
+	l := b.Build()
+	r, err := Schedule(l, mach("1w1", 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Fatalf("2 live accumulators cannot fit 1 register (got Regs=%d II=%d)", r.Regs, r.II())
+	}
+}
+
+func TestSpillFitsEventually(t *testing.T) {
+	// The paper's mechanism at small scale: aggressive machine + tiny RF.
+	l := parallelChains(10)
+	r, err := Schedule(l, mach("8w1", 24), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatal("must fit 24 registers after spilling / II growth")
+	}
+	if r.Regs > 24 {
+		t.Errorf("Regs = %d", r.Regs)
+	}
+	if err := r.Sched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillPenalizesII(t *testing.T) {
+	// With a small RF the final II must not beat the unconstrained II.
+	l := parallelChains(10)
+	rBig, err := Schedule(l, mach("8w1", 256), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, err := Schedule(l, mach("8w1", 24), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rBig.OK || !rSmall.OK {
+		t.Fatal("both must schedule")
+	}
+	if rSmall.II() < rBig.II() {
+		t.Errorf("constrained II %d beats unconstrained %d", rSmall.II(), rBig.II())
+	}
+}
+
+func TestWideSpill(t *testing.T) {
+	// Widened loop under pressure: spill ops must be wide like the values
+	// they spill.
+	l := parallelChains(8)
+	wideLoop, _ := widen.Transform(l, 2)
+	m := machine.New(machine.Config{Buses: 2, Width: 2}, 16, machine.FourCycle)
+	r, err := Schedule(wideLoop, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Skip("8-chain wide loop does not fit 16 registers even spilled")
+	}
+	for _, op := range r.Loop.Ops {
+		if op.Spill && op.Wide && op.Lanes != 2 {
+			t.Errorf("wide spill op %q has %d lanes", op.Name, op.Lanes)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	l := parallelChains(8)
+	m := mach("4w1", 20)
+	r1, err := Schedule(l, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Schedule(l, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.OK != r2.OK || r1.Regs != r2.Regs || r1.II() != r2.II() ||
+		r1.SpillStores != r2.SpillStores || r1.SpillLoads != r2.SpillLoads {
+		t.Errorf("results differ: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestWideRegistersReduceSpill is the paper's central Section 3.2 claim in
+// miniature: at equal peak operation rate and equal register count, the
+// widened configuration needs fewer registers (wide values pack Y words
+// per register), so it spills less and keeps a lower per-iteration II.
+func TestWideRegistersReduceSpill(t *testing.T) {
+	l := parallelChains(12)
+
+	// 8w1 with 32 registers.
+	rRepl, err := Schedule(l, mach("8w1", 32), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4w2 with 32 (wide) registers: transform by 2, II covers 2 iterations.
+	wideLoop, _ := widen.Transform(l, 2)
+	m42 := machine.New(machine.Config{Buses: 4, Width: 2}, 32, machine.FourCycle)
+	rWide, err := Schedule(wideLoop, m42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rWide.OK {
+		t.Fatal("4w2 must schedule")
+	}
+	perIterWide := float64(rWide.II()) / 2
+	if rRepl.OK {
+		perIterRepl := float64(rRepl.II())
+		if perIterWide > perIterRepl {
+			t.Errorf("4w2 per-iteration II %.1f worse than 8w1 %.1f under equal registers",
+				perIterWide, perIterRepl)
+		}
+		if rWide.SpillStores > rRepl.SpillStores {
+			t.Errorf("4w2 spills more than 8w1: %d vs %d stores",
+				rWide.SpillStores, rRepl.SpillStores)
+		}
+	}
+}
+
+// Property: on random loops and small register files, the pass terminates
+// with a consistent result: either OK with a validating schedule that fits,
+// or a clean failure.
+func TestSpillRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		b := ddg.NewBuilder("rand", 100)
+		var results []int
+		nOps := 4 + rng.Intn(16)
+		for i := 0; i < nOps; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				results = append(results, b.Load(1, ""))
+			case 1:
+				st := b.Store(1, "")
+				if len(results) > 0 {
+					b.Flow(results[rng.Intn(len(results))], st, 0)
+				}
+			default:
+				op := b.Op(machine.Add, "")
+				if len(results) > 0 {
+					b.Flow(results[rng.Intn(len(results))], op, rng.Intn(3))
+				}
+				results = append(results, op)
+			}
+		}
+		l := b.Build()
+		regs := 4 + rng.Intn(12)
+		cfgs := []string{"1w1", "2w1", "4w1"}
+		m := mach(cfgs[rng.Intn(len(cfgs))], regs)
+
+		r, err := Schedule(l, m, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !r.OK {
+			continue
+		}
+		if r.Regs > regs {
+			t.Fatalf("trial %d: Regs %d > %d", trial, r.Regs, regs)
+		}
+		if err := r.Sched.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := r.Loop.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := regalloc.MinRegs(lifetimes.Compute(r.Sched), regalloc.EndFit); got > regs {
+			t.Fatalf("trial %d: final allocation %d does not fit %d", trial, got, regs)
+		}
+	}
+}

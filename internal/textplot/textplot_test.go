@@ -1,0 +1,67 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"config", "speedup"},
+		{"2w1", "1.91"},
+		{"16w1", "7.73"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "config") || !strings.Contains(lines[0], "speedup") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("rule missing: %q", lines[1])
+	}
+	// Columns align: "speedup" starts at the same offset everywhere.
+	off := strings.Index(lines[0], "speedup")
+	if got := strings.Index(lines[2], "1.91"); got != off {
+		t.Errorf("column misaligned: %d vs %d", got, off)
+	}
+	if Table(nil) != "" {
+		t.Error("empty table must render empty")
+	}
+}
+
+func TestHBar(t *testing.T) {
+	out := HBar([]Bar{{"a", 1}, {"bb", 2}, {"c", 0}}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar must be full width: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Errorf("zero bar must be empty: %q", lines[2])
+	}
+	if !strings.Contains(lines[0], "1.00") {
+		t.Errorf("value missing: %q", lines[0])
+	}
+}
+
+func TestScatter(t *testing.T) {
+	out := Scatter([]Point{
+		{"p1", 0, 0},
+		{"p2", 10, 5},
+	}, 20, 10, "area", "speedup")
+	if !strings.Contains(out, "a = p1") || !strings.Contains(out, "b = p2") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "area") || !strings.Contains(out, "speedup") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+	if Scatter(nil, 10, 10, "x", "y") != "(no points)\n" {
+		t.Error("empty scatter")
+	}
+	// Degenerate ranges must not panic.
+	_ = Scatter([]Point{{"only", 3, 3}}, 10, 10, "x", "y")
+}

@@ -1,0 +1,239 @@
+// Package timing implements the register file access-time model of the
+// paper's Section 4.2 — an adaptation (following Farkas) of the CACTI
+// memory model to multiported register files.
+//
+// The access time is the sum of the read-path components: decoder,
+// wordline, bitline, sense amplifier, output driver and precharge. Each
+// component depends on the file's geometry:
+//
+//   - the port count loads every cell: each port adds a select line and
+//     access transistors, so both lines get slower roughly linearly in the
+//     total port count;
+//   - the wordline delay grows with the physical row length (bits per
+//     register x cell width); with CACTI's optimally sized drivers the
+//     delay grows as the square root of the line length;
+//   - the bitline delay grows likewise with the column height (registers x
+//     cell height);
+//   - the decoder contributes a term per level, i.e. log2(registers);
+//   - sense amplifier, output driver and precharge are geometry-
+//     independent and fold into the affine term together with the parts of
+//     the line delays already counted at the baseline geometry (which is
+//     why the fitted intercept can be negative; all geometries the paper
+//     evaluates sit far above the zero crossing, and the model is used
+//     only as a ratio).
+//
+// The five coefficients are calibrated by least squares against the
+// paper's own Table 4 (60 relative access times over 15 configurations x 4
+// register file sizes, normalized to 1w1 with 32 registers). The fit has
+// a mean absolute error near 2% and is pinned by tests; EXPERIMENTS.md
+// reports the full model-vs-paper table.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/area"
+	"repro/internal/machine"
+)
+
+// Model holds the component coefficients of the access-time model. Times
+// are in arbitrary units; callers use ratios only.
+type Model struct {
+	// C0 is the affine term: sense amplifier, output driver, precharge,
+	// minus the baseline share of the line delays (may be negative).
+	C0 float64
+	// Ports is the cell-loading cost per register file port.
+	Ports float64
+	// WLine is the wordline cost per sqrt(kλ) of row length.
+	WLine float64
+	// BLine is the bitline cost per sqrt(kλ) of column height.
+	BLine float64
+	// DLog is the decoder cost per log2(registers).
+	DLog float64
+}
+
+// Default is the model fitted to the paper's Table 4 (see FitTable4 and
+// the calibration test).
+var Default = FitTable4()
+
+// AccessTime returns the read access time (arbitrary units) of a register
+// file block with the given geometry: regs registers of `bits` bits,
+// cells with `reads` read and `writes` write ports.
+func (m Model) AccessTime(regs, bits, reads, writes int) float64 {
+	if regs < 1 || bits < 1 {
+		panic(fmt.Sprintf("timing: invalid geometry regs=%d bits=%d", regs, bits))
+	}
+	f := rawFeatures(regs, bits, reads, writes)
+	return m.C0*f[0] + m.Ports*f[1] + m.WLine*f[2] + m.BLine*f[3] + m.DLog*f[4]
+}
+
+// ConfigTime returns the access time of configuration c's register file
+// with regs registers split into the given number of partitions: each
+// block keeps every register and all write ports but serves 1/n of the
+// read ports, so partitioning shrinks the cell and with it both line
+// delays (Section 4.2, Figure 6).
+func (m Model) ConfigTime(c machine.Config, regs, partitions int) float64 {
+	reads, writes := c.PartitionPorts(partitions)
+	return m.AccessTime(regs, machine.WordBits*c.Width, reads, writes)
+}
+
+// baseline is the normalization point of Table 4: 1w1 with 32 registers.
+func (m Model) baseline() float64 {
+	return m.ConfigTime(machine.Config{Buses: 1, Width: 1}, 32, 1)
+}
+
+// Relative returns the access time of the configuration relative to the
+// 1w1 32-register baseline — the paper's cycle-time unit.
+func (m Model) Relative(c machine.Config, regs, partitions int) float64 {
+	return m.ConfigTime(c, regs, partitions) / m.baseline()
+}
+
+// CycleModelFor maps the configuration's relative cycle time onto the FPU
+// latency model used to schedule it (Section 5.2): z = ceil(4/Tc), clamped
+// to the four models of Table 6.
+func (m Model) CycleModelFor(c machine.Config, regs, partitions int) machine.CycleModel {
+	return machine.ModelForCycleTime(m.Relative(c, regs, partitions))
+}
+
+// rawFeatures computes the model features for a register file block.
+func rawFeatures(regs, bits, reads, writes int) [5]float64 {
+	cw, ch := area.CellDims(reads, writes)
+	rowK := float64(bits*cw) / 1e3 // kλ
+	colK := float64(regs*ch) / 1e3 // kλ
+	return [5]float64{
+		1,
+		float64(reads + writes),
+		math.Sqrt(rowK),
+		math.Sqrt(colK),
+		math.Log2(float64(regs)),
+	}
+}
+
+// Table4Entry is one published data point of the paper's Table 4.
+type Table4Entry struct {
+	Config machine.Config
+	Regs   int
+	Rel    float64
+}
+
+// PaperTable4 returns the paper's Table 4: relative access times for 15
+// configurations x 4 register file sizes, baseline 1w1 32-RF. This is the
+// calibration target and the reference EXPERIMENTS.md compares against.
+func PaperTable4() []Table4Entry {
+	cfg := func(x, y int) machine.Config { return machine.Config{Buses: x, Width: y} }
+	rows := []struct {
+		c machine.Config
+		v [4]float64
+	}{
+		{cfg(1, 1), [4]float64{1.00, 1.05, 1.18, 1.34}},
+		{cfg(2, 1), [4]float64{1.49, 1.54, 1.70, 1.87}},
+		{cfg(1, 2), [4]float64{1.10, 1.15, 1.29, 1.45}},
+		{cfg(4, 1), [4]float64{2.44, 2.51, 2.69, 2.90}},
+		{cfg(2, 2), [4]float64{1.65, 1.72, 1.87, 2.06}},
+		{cfg(1, 4), [4]float64{1.22, 1.27, 1.43, 1.60}},
+		{cfg(8, 1), [4]float64{4.32, 4.41, 4.61, 4.87}},
+		{cfg(4, 2), [4]float64{2.75, 2.82, 3.00, 3.23}},
+		{cfg(2, 4), [4]float64{1.85, 1.92, 2.09, 2.29}},
+		{cfg(1, 8), [4]float64{1.39, 1.45, 1.62, 1.80}},
+		{cfg(16, 1), [4]float64{8.04, 8.15, 8.39, 8.72}},
+		{cfg(8, 2), [4]float64{4.89, 4.99, 5.20, 5.48}},
+		{cfg(4, 4), [4]float64{3.10, 3.18, 3.38, 3.61}},
+		{cfg(2, 8), [4]float64{2.12, 2.20, 2.38, 2.60}},
+		{cfg(1, 16), [4]float64{1.68, 1.75, 1.93, 2.14}},
+	}
+	sizes := []int{32, 64, 128, 256}
+	var out []Table4Entry
+	for _, r := range rows {
+		for i, s := range sizes {
+			out = append(out, Table4Entry{r.c, s, r.v[i]})
+		}
+	}
+	return out
+}
+
+// FitTable4 fits the five model coefficients to PaperTable4 by equality-
+// constrained linear least squares: minimize the squared error over the 60
+// published points subject to the baseline (1w1, 32 registers) evaluating
+// to exactly 1, so that model ratios line up with the paper's relative
+// times. The constraint is enforced with a Lagrange multiplier (KKT
+// system).
+func FitTable4() Model {
+	data := PaperTable4()
+	const k = 5
+	var ata [k][k]float64
+	var atb [k]float64
+	for _, d := range data {
+		f := rawFeatures(d.Regs, machine.WordBits*d.Config.Width,
+			d.Config.ReadPorts(), d.Config.WritePorts())
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				ata[i][j] += f[i] * f[j]
+			}
+			atb[i] += f[i] * d.Rel
+		}
+	}
+	base := machine.Config{Buses: 1, Width: 1}
+	fb := rawFeatures(32, machine.WordBits, base.ReadPorts(), base.WritePorts())
+
+	// KKT system: [2 AtA, fb; fb^T, 0] [theta; lambda] = [2 Atb; 1].
+	kkt := make([][]float64, k+1)
+	rhs := make([]float64, k+1)
+	for i := 0; i < k; i++ {
+		kkt[i] = make([]float64, k+1)
+		for j := 0; j < k; j++ {
+			kkt[i][j] = 2 * ata[i][j]
+		}
+		kkt[i][k] = fb[i]
+		rhs[i] = 2 * atb[i]
+	}
+	kkt[k] = make([]float64, k+1)
+	for j := 0; j < k; j++ {
+		kkt[k][j] = fb[j]
+	}
+	rhs[k] = 1
+
+	theta, ok := solveLinear(kkt, rhs)
+	if !ok {
+		panic("timing: singular calibration system")
+	}
+	return Model{C0: theta[0], Ports: theta[1], WLine: theta[2], BLine: theta[3], DLog: theta[4]}
+}
+
+// solveLinear solves a dense linear system by Gaussian elimination with
+// partial pivoting.
+func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i][:n], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for cc := col; cc <= n; cc++ {
+				m[r][cc] -= f * m[col][cc]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, true
+}

@@ -1,0 +1,156 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func cfg(s string) machine.Config {
+	c, err := machine.ParseConfig(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestFitQuality pins the calibration contract: the model reproduces the
+// paper's Table 4 with small error.
+func TestFitQuality(t *testing.T) {
+	m := Default
+	var sumAbs, maxAbs float64
+	n := 0
+	for _, d := range PaperTable4() {
+		got := m.Relative(d.Config, d.Regs, 1)
+		err := math.Abs(got-d.Rel) / d.Rel
+		sumAbs += err
+		if err > maxAbs {
+			maxAbs = err
+		}
+		n++
+	}
+	mean := sumAbs / float64(n)
+	t.Logf("Table 4 fit: mean abs err %.2f%%, max %.2f%%", 100*mean, 100*maxAbs)
+	if mean > 0.04 {
+		t.Errorf("mean abs error %.2f%% exceeds 4%%", 100*mean)
+	}
+	if maxAbs > 0.12 {
+		t.Errorf("max abs error %.2f%% exceeds 12%%", 100*maxAbs)
+	}
+}
+
+func TestBaselineIsOne(t *testing.T) {
+	got := Default.Relative(cfg("1w1"), 32, 1)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("baseline relative time = %v, want exactly 1", got)
+	}
+}
+
+func TestPositiveOnEvaluatedDomain(t *testing.T) {
+	for _, c := range machine.ConfigsUpToFactor(16) {
+		for _, regs := range machine.RegFileSizes {
+			for _, n := range c.ValidPartitions() {
+				if tm := Default.ConfigTime(c, regs, n); tm <= 0 {
+					t.Errorf("ConfigTime(%v, %d, %d) = %v, want > 0", c, regs, n, tm)
+				}
+			}
+		}
+	}
+}
+
+// TestMonotonicity: more registers, more bits or more ports never speed up
+// the file.
+func TestMonotonicity(t *testing.T) {
+	m := Default
+	for _, c := range machine.ConfigsUpToFactor(16) {
+		prev := 0.0
+		for _, regs := range machine.RegFileSizes {
+			tm := m.ConfigTime(c, regs, 1)
+			if tm < prev {
+				t.Errorf("%v: time decreased as registers grew", c)
+			}
+			prev = tm
+		}
+	}
+	// Replication is slower than widening at equal factor (the paper's
+	// core timing argument: more ports per bit beat more bits per register).
+	for factor := 2; factor <= 16; factor *= 2 {
+		configs := machine.ConfigsWithFactor(factor)
+		for i := 1; i < len(configs); i++ {
+			a := m.Relative(configs[i-1], 64, 1)
+			b := m.Relative(configs[i], 64, 1)
+			if b >= a {
+				t.Errorf("Relative(%v)=%.2f not below Relative(%v)=%.2f",
+					configs[i], b, configs[i-1], a)
+			}
+		}
+	}
+}
+
+// TestPartitioningSpeedsUp reproduces Figure 6's access-time behaviour:
+// partitioning the 8w1 64-RF monotonically reduces the access time with
+// diminishing returns.
+func TestPartitioningSpeedsUp(t *testing.T) {
+	c := cfg("8w1")
+	m := Default
+	base := m.ConfigTime(c, 64, 1)
+	prev := base
+	prevDrop := math.Inf(1)
+	for _, n := range []int{2, 4, 8} {
+		tm := m.ConfigTime(c, 64, n)
+		if tm >= prev {
+			t.Errorf("partition %d: time %.3f did not drop (prev %.3f)", n, tm, prev)
+		}
+		drop := prev - tm
+		if drop > prevDrop {
+			t.Errorf("partition %d: drop %.3f accelerated (want diminishing returns)", n, drop)
+		}
+		prev, prevDrop = tm, drop
+	}
+	// A 2-partition takes a solid bite out of the access time (Figure 6
+	// pairs "slight area increase" with "important decrease in time").
+	if ratio := m.ConfigTime(c, 64, 2) / base; ratio > 0.85 {
+		t.Errorf("2-partition time ratio = %.2f, want <= 0.85", ratio)
+	}
+}
+
+// TestPaperCycleModelExamples pins the Section 5.2 mapping on the paper's
+// own examples via the fitted model: 2w4 at (32:1), (128:1) and (128:2).
+func TestPaperCycleModelExamples(t *testing.T) {
+	m := Default
+	c := cfg("2w4")
+	cases := []struct {
+		regs, parts int
+		wantZ       int
+	}{
+		{32, 1, 3},  // paper: Tc=1.85 -> 3-cycles
+		{128, 1, 2}, // paper: Tc=2.09 -> 2-cycles
+		{128, 2, 3}, // paper: Tc=1.80 -> 3-cycles
+	}
+	for _, cse := range cases {
+		tc := m.Relative(c, cse.regs, cse.parts)
+		z := m.CycleModelFor(c, cse.regs, cse.parts).Z
+		if z != cse.wantZ {
+			t.Errorf("2w4(%d:%d): Tc=%.2f -> z=%d, paper says z=%d",
+				cse.regs, cse.parts, tc, z, cse.wantZ)
+		}
+	}
+}
+
+func TestAccessTimePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AccessTime with 0 regs must panic")
+		}
+	}()
+	Default.AccessTime(0, 64, 5, 3)
+}
+
+// TestFitIsDeterministic: refitting reproduces the default model.
+func TestFitIsDeterministic(t *testing.T) {
+	a, b := FitTable4(), FitTable4()
+	if a != b {
+		t.Errorf("FitTable4 not deterministic: %+v vs %+v", a, b)
+	}
+}
