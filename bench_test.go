@@ -1,9 +1,9 @@
 // Benchmarks regenerating every table and figure of the paper, plus
-// ablations of the design choices DESIGN.md calls out. Each benchmark
+// ablations of the reproduction's design choices (see README.md for the
+// experiment index and how these timings are regenerated). Each benchmark
 // drives the same experiment code the CLI uses, over a reduced workbench
 // (the engine caches schedules, so timings reflect the first regeneration;
-// run with -benchtime=1x for one clean regeneration per artifact, which is
-// how bench_output.txt is produced).
+// run with -benchtime=1x for one clean regeneration per artifact).
 package repro
 
 import (
@@ -95,6 +95,41 @@ func BenchmarkFig8Tradeoffs(b *testing.B) { runExperiment(b, "fig8") }
 
 // BenchmarkFig9TopFive regenerates Figure 9 (top five per technology).
 func BenchmarkFig9TopFive(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkRunAll compares the concurrent sweep orchestrator against the
+// strictly sequential driver loop at equal workbench, seed and loop
+// count. Every iteration regenerates all thirteen artifacts on a fresh
+// context, so nothing is served from a warm schedule cache; the ratio of
+// the two timings is the wall-clock win of the sweep subsystem on this
+// host (sequential ≈ concurrent on a single core, ≥2x on multicore).
+func BenchmarkRunAll(b *testing.B) {
+	modes := []struct {
+		name string
+		run  func(*experiments.Context) ([]experiments.Result, error)
+	}{
+		{"sequential", (*experiments.Context).RunAllSequential},
+		{"concurrent", (*experiments.Context).RunAll},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ctx, err := experiments.NewContext(benchLoops, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := mode.run(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(experiments.IDs()) {
+					b.Fatalf("%d results", len(res))
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkScheduler measures raw modulo-scheduling throughput over the
 // workbench on the baseline machine.

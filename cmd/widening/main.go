@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	widening [-loops N] [-seed S] <experiment>... | all | list
+//	widening [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
 //	widening schedule -config 4w2 -regs 64 -kernel daxpy
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
 //	fig2 fig3 fig4 fig6 fig7 fig8 fig9
 //
-// The full 1180-loop workbench makes fig3/fig8/fig9 take a while on one
-// core; -loops trades fidelity for speed.
+// The selected experiments are regenerated concurrently by the sweep
+// orchestrator (the engine's schedule cache deduplicates the design cells
+// the drivers share) and printed in the order requested. -out exports the
+// structured artifacts (JSON/CSV/plain text) next to the terminal render.
+// The full 1180-loop workbench still takes a while for fig3/fig8/fig9;
+// -loops trades fidelity for speed.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -41,6 +46,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("widening", flag.ContinueOnError)
 	loops := fs.Int("loops", 0, "workbench size (0 = the paper's 1180 loops)")
 	seed := fs.Int64("seed", 0, "workbench seed (0 = calibrated default)")
+	out := fs.String("out", "", "directory for structured artifact export (empty = no export)")
+	format := fs.String("format", "json,csv", "comma-separated export formats: json, csv, txt")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +66,16 @@ func run(args []string) error {
 		return nil
 	}
 
+	// Validate the export request before the (potentially minutes-long)
+	// regeneration, so a typo'd format fails in milliseconds.
+	var formats []string
+	if *out != "" {
+		var err error
+		if formats, err = sweep.ParseFormats(*format); err != nil {
+			return err
+		}
+	}
+
 	ctx, err := experiments.NewContext(*loops, *seed)
 	if err != nil {
 		return err
@@ -66,14 +83,26 @@ func run(args []string) error {
 	if targets[0] == "all" {
 		targets = experiments.IDs()
 	}
-	for _, id := range targets {
-		start := time.Now()
-		res, err := ctx.Run(id)
+	start := time.Now()
+	results, err := ctx.RunMany(targets)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Printf("== %s: %s\n\n%s\n", res.ID(), res.Title(), res.Render())
+	}
+	fmt.Printf("regenerated %d artifact(s) in %.1fs\n", len(results), time.Since(start).Seconds())
+
+	if *out != "" {
+		artifacts := make([]sweep.Artifact, len(results))
+		for i, r := range results {
+			artifacts[i] = r
+		}
+		paths, err := sweep.Export(*out, formats, artifacts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("== %s: %s (%.1fs)\n\n%s\n", res.ID(), res.Title(),
-			time.Since(start).Seconds(), res.Render())
+		fmt.Printf("exported %d file(s) to %s\n", len(paths), *out)
 	}
 	return nil
 }
@@ -110,6 +139,6 @@ func runSchedule(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  widening [-loops N] [-seed S] <experiment>... | all | list
+  widening [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
   widening schedule -config 4w2 -regs 64 -kernel daxpy|list`)
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"list"}); err != nil {
@@ -23,6 +27,29 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunFastExperiment(t *testing.T) {
 	if err := run([]string{"-loops", "5", "table1", "table6"}); err != nil {
 		t.Fatalf("table1 table6: %v", err)
+	}
+}
+
+func TestRunExportsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-loops", "5", "-out", dir, "-format", "json,csv,txt", "table1", "fig6"}); err != nil {
+		t.Fatalf("export run: %v", err)
+	}
+	for _, name := range []string{
+		"table1.json", "table1.csv", "table1.txt",
+		"fig6.json", "fig6.csv", "fig6.txt",
+	} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing export %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("empty export %s", name)
+		}
+	}
+	if err := run([]string{"-loops", "5", "-out", dir, "-format", "yaml", "table1"}); err == nil {
+		t.Error("unknown export format must error")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -28,20 +29,34 @@ func main() {
 
 	fmt.Println("== workload sweep: peak speed-up at factor 8 vs unit-stride fraction")
 	fmt.Printf("%-12s %8s %8s %8s\n", "unit-stride", "8w1", "4w2", "1w8")
-	for _, usp := range []float64{0.5, 0.65, 0.8, 0.92, 1.0} {
+	// Each sweep point owns an independent workbench, so the points run
+	// concurrently on the sweep pool and print in sweep order.
+	usps := []float64{0.5, 0.65, 0.8, 0.92, 1.0}
+	type row struct {
+		speedups [3]float64
+		err      error
+	}
+	rows := sweep.Map(0, usps, func(usp float64) row {
 		p := core.DefaultWorkbenchParams()
 		p.Loops = *loops
 		p.UnitStrideProb = usp
 		suite, err := core.Workbench(p)
 		if err != nil {
-			log.Fatal(err)
+			return row{err: err}
 		}
 		ds := core.NewDesignSpace(suite)
-		fmt.Printf("%-12.2f %8.2f %8.2f %8.2f\n",
-			usp,
+		return row{speedups: [3]float64{
 			ds.PeakSpeedup(core.MustConfig("8w1")),
 			ds.PeakSpeedup(core.MustConfig("4w2")),
-			ds.PeakSpeedup(core.MustConfig("1w8")))
+			ds.PeakSpeedup(core.MustConfig("1w8")),
+		}}
+	})
+	for i, usp := range usps {
+		if rows[i].err != nil {
+			log.Fatal(rows[i].err)
+		}
+		fmt.Printf("%-12.2f %8.2f %8.2f %8.2f\n",
+			usp, rows[i].speedups[0], rows[i].speedups[1], rows[i].speedups[2])
 	}
 
 	fmt.Println("\n== budget sweep: best design at 0.13 um vs area budget")

@@ -17,11 +17,36 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 func main() {
 	configs := []core.Config{core.MustConfig("8w1"), core.MustConfig("4w2")}
 	sizes := []int{16, 32, 64, 128}
+
+	// The (kernel, config, register file) grid is embarrassingly parallel:
+	// pipeline every cell on the sweep pool, then print in grid order.
+	type task struct {
+		kernel *core.Loop
+		cfg    core.Config
+		regs   int
+	}
+	type outcome struct {
+		rep *core.LoopReport
+		err error
+	}
+	var grid []task
+	for _, kernel := range core.Kernels() {
+		for _, cfg := range configs {
+			for _, regs := range sizes {
+				grid = append(grid, task{kernel, cfg, regs})
+			}
+		}
+	}
+	outcomes := sweep.Map(0, grid, func(t task) outcome {
+		rep, err := core.ScheduleLoop(t.kernel, t.cfg, t.regs)
+		return outcome{rep, err}
+	})
 
 	fmt.Println("per-iteration cycles (spill ops) by register file size")
 	fmt.Printf("%-12s %-6s", "kernel", "config")
@@ -30,24 +55,24 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, kernel := range core.Kernels() {
-		for _, cfg := range configs {
-			fmt.Printf("%-12s %-6s", kernel.Name, cfg)
-			for _, regs := range sizes {
-				rep, err := core.ScheduleLoop(kernel, cfg, regs)
-				switch {
-				case errors.Is(err, core.ErrUnschedulable):
-					fmt.Printf("  %11s", "-")
-				case err != nil:
-					log.Fatalf("%s on %s: %v", kernel.Name, cfg, err)
-				default:
-					mark := " "
-					if rep.SpillStores+rep.SpillLoads > 0 {
-						mark = "*"
-					}
-					fmt.Printf("  %9.2f%s%s", rep.CyclesPerIteration, mark, "")
-				}
+	for i, t := range grid {
+		if t.regs == sizes[0] {
+			fmt.Printf("%-12s %-6s", t.kernel.Name, t.cfg)
+		}
+		o := outcomes[i]
+		switch {
+		case errors.Is(o.err, core.ErrUnschedulable):
+			fmt.Printf("  %11s", "-")
+		case o.err != nil:
+			log.Fatalf("%s on %s: %v", t.kernel.Name, t.cfg, o.err)
+		default:
+			mark := " "
+			if o.rep.SpillStores+o.rep.SpillLoads > 0 {
+				mark = "*"
 			}
+			fmt.Printf("  %9.2f%s%s", o.rep.CyclesPerIteration, mark, "")
+		}
+		if t.regs == sizes[len(sizes)-1] {
 			fmt.Println()
 		}
 	}

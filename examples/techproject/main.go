@@ -17,6 +17,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -32,9 +33,13 @@ func main() {
 	ds := core.NewDesignSpace(suite)
 
 	fmt.Printf("workbench: %d loops; budget: 20%% of the die for FPUs + RF\n\n", *loops)
-	for _, tech := range core.Technologies() {
+	// Rank all five generations concurrently; they share most design
+	// cells, which the engine's schedule cache computes once.
+	techs := core.Technologies()
+	tops := sweep.Map(len(techs), techs, ds.TopFive)
+	for i, tech := range techs {
 		fmt.Printf("%d (%s): top five implementable configurations\n", tech.Year, tech)
-		for rank, p := range ds.TopFive(tech) {
+		for rank, p := range tops[i] {
 			fmt.Printf("  %d. %-12s speed-up %.2f   cycle time %.2fx   %4.1f%% of die   z=%d\n",
 				rank+1, p.Label(), ds.Speedup(p), p.Tc, 100*p.DieFraction(tech), p.Z)
 		}

@@ -19,7 +19,8 @@
 // 10R6W cells. The published 20R12W cell (568x257) is about 10% smaller in
 // each dimension than the linear extrapolation (624x273) — large cells
 // apparently amortize some routing in the authors' layouts; we keep the
-// mechanistic model everywhere and document the deviation (EXPERIMENTS.md),
+// mechanistic model everywhere and report the deviation (the table2
+// experiment renders model vs paper per cell),
 // which slightly penalizes the most replicated configurations and therefore
 // does not affect who wins.
 //

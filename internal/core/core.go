@@ -33,6 +33,7 @@ import (
 	"repro/internal/regalloc"
 	"repro/internal/sched"
 	"repro/internal/spill"
+	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/widen"
 )
@@ -53,6 +54,9 @@ type (
 	WorkbenchParams = loopgen.Params
 	// ExperimentResult is a regenerated paper artifact.
 	ExperimentResult = experiments.Result
+	// Cell is one design-space cell (configuration, registers,
+	// partitions) for the batch evaluators.
+	Cell = sweep.Cell
 )
 
 // ParseConfig parses the paper's XwY notation (e.g. "4w2").
@@ -210,6 +214,12 @@ func (d *DesignSpace) Evaluate(cfg Config, regs, partitions int) Point {
 	return d.engine.Evaluate(cfg, regs, partitions)
 }
 
+// EvaluateMany prices and times a whole panel of design cells
+// concurrently, in submission order; duplicate cells are scheduled once.
+func (d *DesignSpace) EvaluateMany(cells []Cell) []Point {
+	return d.engine.EvaluateMany(cells)
+}
+
 // Speedup returns a point's speed-up over the 1w1(32:1) baseline.
 func (d *DesignSpace) Speedup(p Point) float64 { return d.engine.Speedup(p) }
 
@@ -243,6 +253,16 @@ func RunExperiment(id string, loops int) (ExperimentResult, error) {
 		return nil, err
 	}
 	return ctx.Run(id)
+}
+
+// RunExperiments regenerates several artifacts concurrently over one
+// shared workbench, returning them in the order requested.
+func RunExperiments(ids []string, loops int) ([]ExperimentResult, error) {
+	ctx, err := experiments.NewContext(loops, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.RunMany(ids)
 }
 
 // ExperimentIDs lists the regenerable artifacts.

@@ -104,7 +104,11 @@ func TestRegisterRequirement(t *testing.T) {
 
 func TestDesignSpaceSmoke(t *testing.T) {
 	p := DefaultWorkbenchParams()
+	// Short tier: a reduced workbench keeps the smoke assertions valid.
 	p.Loops = 30
+	if testing.Short() {
+		p.Loops = 12
+	}
 	loops, err := Workbench(p)
 	if err != nil {
 		t.Fatal(err)
@@ -174,5 +178,41 @@ func TestRunExperimentSmoke(t *testing.T) {
 	}
 	if len(ExperimentIDs()) != 13 {
 		t.Errorf("%d experiment ids", len(ExperimentIDs()))
+	}
+}
+
+func TestRunExperimentsBatch(t *testing.T) {
+	res, err := RunExperiments([]string{"table6", "table1"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].ID() != "table6" || res[1].ID() != "table1" {
+		t.Fatalf("batch results out of request order: %v", res)
+	}
+	if _, err := RunExperiments([]string{"nope"}, 5); err == nil {
+		t.Error("unknown experiment in a batch must error")
+	}
+}
+
+func TestEvaluateManyFacade(t *testing.T) {
+	p := DefaultWorkbenchParams()
+	p.Loops = 8
+	loops, err := Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDesignSpace(loops)
+	cells := []Cell{
+		{Config: MustConfig("1w1"), Regs: 32, Partitions: 1},
+		{Config: MustConfig("2w2"), Regs: 64, Partitions: 2},
+	}
+	pts := ds.EvaluateMany(cells)
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, c := range cells {
+		if pts[i] != ds.Evaluate(c.Config, c.Regs, c.Partitions) {
+			t.Errorf("cell %d: batch point differs from sequential", i)
+		}
 	}
 }

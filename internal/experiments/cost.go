@@ -28,7 +28,8 @@ func Table1() (*Table1Result, error) {
 func (*Table1Result) ID() string    { return "table1" }
 func (*Table1Result) Title() string { return "Table 1: SIA predictions (1994 roadmap)" }
 
-func (r *Table1Result) Render() string {
+// Table returns the header plus data rows (the rows the render draws).
+func (r *Table1Result) Table() [][]string {
 	rows := [][]string{{"year", "lambda (um)", "die (mm2)", "lambda^2/chip (x1e6)"}}
 	for _, t := range r.Rows {
 		rows = append(rows, []string{
@@ -38,7 +39,11 @@ func (r *Table1Result) Render() string {
 			fmt.Sprintf("%.0f", t.ChipLambda2/1e6),
 		})
 	}
-	return textplot.Table(rows)
+	return rows
+}
+
+func (r *Table1Result) Render() string {
+	return textplot.Table(r.Table())
 }
 
 // ---------------------------------------------------------------- table 2
@@ -91,7 +96,8 @@ func Table2() (*Table2Result, error) {
 func (*Table2Result) ID() string    { return "table2" }
 func (*Table2Result) Title() string { return "Table 2: multiported register cell dimensions" }
 
-func (r *Table2Result) Render() string {
+// Table returns the header plus data rows (the rows the render draws).
+func (r *Table2Result) Table() [][]string {
 	rows := [][]string{{"ports", "model WxH", "paper WxH", "rel area", "paper rel", "area dev"}}
 	for _, c := range r.Rows {
 		rows = append(rows, []string{
@@ -103,7 +109,11 @@ func (r *Table2Result) Render() string {
 			fmt.Sprintf("%+.1f%%", c.DeviationPercent),
 		})
 	}
-	return textplot.Table(rows)
+	return rows
+}
+
+func (r *Table2Result) Render() string {
+	return textplot.Table(r.Table())
 }
 
 // ---------------------------------------------------------------- table 3
@@ -149,7 +159,8 @@ func Table3() (*Table3Result, error) {
 func (*Table3Result) ID() string    { return "table3" }
 func (*Table3Result) Title() string { return "Table 3: register file area, 64 registers" }
 
-func (r *Table3Result) Render() string {
+// Table returns the header plus data rows (the rows the render draws).
+func (r *Table3Result) Table() [][]string {
 	rows := [][]string{{"config", "ports", "cell (λ²)", "bits/reg", "RF area (1e6 λ²)", "paper"}}
 	for _, c := range r.Rows {
 		rows = append(rows, []string{
@@ -161,7 +172,11 @@ func (r *Table3Result) Render() string {
 			fmt.Sprintf("%.0f", c.PaperTotalE6),
 		})
 	}
-	return textplot.Table(rows)
+	return rows
+}
+
+func (r *Table3Result) Render() string {
+	return textplot.Table(r.Table())
 }
 
 // ---------------------------------------------------------------- table 4
@@ -195,7 +210,8 @@ func Table4() (*Table4Result, error) {
 func (*Table4Result) ID() string    { return "table4" }
 func (*Table4Result) Title() string { return "Table 4: relative RF access time (baseline 1w1 32-RF)" }
 
-func (r *Table4Result) Render() string {
+// Table returns the header plus data rows (the rows the render draws).
+func (r *Table4Result) Table() [][]string {
 	rows := [][]string{{"config", "RF", "model", "paper", "err"}}
 	for i, e := range r.Entries {
 		rows = append(rows, []string{
@@ -206,7 +222,11 @@ func (r *Table4Result) Render() string {
 			fmt.Sprintf("%+.1f%%", 100*(r.ModelRel[i]-e.Rel)/e.Rel),
 		})
 	}
-	return textplot.Table(rows) +
+	return rows
+}
+
+func (r *Table4Result) Render() string {
+	return textplot.Table(r.Table()) +
 		fmt.Sprintf("fit: mean abs err %.1f%%, max %.1f%%\n", 100*r.MeanErr, 100*r.MaxErr)
 }
 
@@ -248,8 +268,8 @@ func Table5() (*Table5Result, error) {
 func (*Table5Result) ID() string    { return "table5" }
 func (*Table5Result) Title() string { return "Table 5: implementable configurations (20% budget)" }
 
-func (r *Table5Result) Render() string {
-	var b strings.Builder
+// Table returns the header plus data rows (the rows the render draws).
+func (r *Table5Result) Table() [][]string {
 	rows := [][]string{{"config", "RF", "partitions", "earliest tech"}}
 	for _, c := range r.Cells {
 		tech := "never"
@@ -263,8 +283,11 @@ func (r *Table5Result) Render() string {
 			tech,
 		})
 	}
-	b.WriteString(textplot.Table(rows))
-	return b.String()
+	return rows
+}
+
+func (r *Table5Result) Render() string {
+	return textplot.Table(r.Table())
 }
 
 // ---------------------------------------------------------------- table 6
@@ -282,7 +305,8 @@ func Table6() (*Table6Result, error) {
 func (*Table6Result) ID() string    { return "table6" }
 func (*Table6Result) Title() string { return "Table 6: cycles per operation per cycle model" }
 
-func (r *Table6Result) Render() string {
+// Table returns the header plus data rows (the rows the render draws).
+func (r *Table6Result) Table() [][]string {
 	rows := [][]string{{"model", "store", "+,*,load", "div", "sqrt"}}
 	for _, m := range r.Models {
 		rows = append(rows, []string{
@@ -293,7 +317,11 @@ func (r *Table6Result) Render() string {
 			fmt.Sprint(m.SqrtLat),
 		})
 	}
-	return textplot.Table(rows) + "div and sqrt are not pipelined; the rest are fully pipelined\n"
+	return rows
+}
+
+func (r *Table6Result) Render() string {
+	return textplot.Table(r.Table()) + "div and sqrt are not pipelined; the rest are fully pipelined\n"
 }
 
 // ------------------------------------------------------------------ fig 4
@@ -329,7 +357,9 @@ func Fig4() (*Fig4Result, error) {
 func (*Fig4Result) ID() string    { return "fig4" }
 func (*Fig4Result) Title() string { return "Figure 4: area cost (register file plus FPUs)" }
 
-func (r *Fig4Result) Render() string {
+// Table returns the per-configuration area matrix (the rows the render
+// draws).
+func (r *Fig4Result) Table() [][]string {
 	rows := [][]string{{"config", "32-RF", "64-RF", "128-RF", "256-RF (1e6 λ²)"}}
 	byCfg := map[string]map[int]float64{}
 	var order []string
@@ -350,8 +380,12 @@ func (r *Fig4Result) Render() string {
 			fmt.Sprintf("%.0f", byCfg[k][256]/1e6),
 		})
 	}
+	return rows
+}
+
+func (r *Fig4Result) Render() string {
 	var b strings.Builder
-	b.WriteString(textplot.Table(rows))
+	b.WriteString(textplot.Table(r.Table()))
 	b.WriteString("technology bands (10%..20% of die, 1e6 λ²):\n")
 	for _, t := range area.SIA() {
 		band := r.Bands[t.String()]
@@ -396,7 +430,8 @@ func Fig6() (*Fig6Result, error) {
 func (*Fig6Result) ID() string    { return "fig6" }
 func (*Fig6Result) Title() string { return "Figure 6: 8w1 64-RF partitioning (area vs access time)" }
 
-func (r *Fig6Result) Render() string {
+// Table returns the header plus data rows (the rows the render draws).
+func (r *Fig6Result) Table() [][]string {
 	rows := [][]string{{"blocks", "relative area", "relative access time"}}
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
@@ -405,7 +440,11 @@ func (r *Fig6Result) Render() string {
 			fmt.Sprintf("%.2f", row.RelativeTime),
 		})
 	}
-	return textplot.Table(rows)
+	return rows
+}
+
+func (r *Fig6Result) Render() string {
+	return textplot.Table(r.Table())
 }
 
 // ------------------------------------------------------------------ fig 7
@@ -430,6 +469,19 @@ func Fig7(loops []*ddg.Loop) (*Fig7Result, error) {
 
 func (*Fig7Result) ID() string    { return "fig7" }
 func (*Fig7Result) Title() string { return "Figure 7: relative code size (vs equal-factor Xw1)" }
+
+// Table returns the per-configuration footprint rows behind the bars.
+func (r *Fig7Result) Table() [][]string {
+	rows := [][]string{{"config", "bits_per_iteration", "relative_size"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Config.String(),
+			fmt.Sprintf("%.1f", row.Bits),
+			fmt.Sprintf("%.4f", row.Rel),
+		})
+	}
+	return rows
+}
 
 func (r *Fig7Result) Render() string {
 	bars := make([]textplot.Bar, 0, len(r.Rows))

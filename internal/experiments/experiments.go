@@ -1,7 +1,13 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation. Each driver returns typed rows plus a terminal rendering;
-// the per-experiment index in DESIGN.md maps the drivers to the paper's
-// artifacts, and EXPERIMENTS.md records paper-vs-measured values.
+// evaluation. Each driver returns typed rows plus a terminal rendering and
+// a tabular form for CSV export; the experiment index in README.md maps
+// the drivers to the paper's artifacts.
+//
+// Drivers submit whole panels of design cells to the engine's batch
+// evaluators (see perfcost and sweep), and RunAll regenerates the nine
+// workbench-backed artifacts concurrently: the engine's singleflight
+// schedule cache deduplicates the cells the drivers share, and results
+// come back in registry order regardless of completion order.
 package experiments
 
 import (
@@ -10,9 +16,13 @@ import (
 
 	"repro/internal/loopgen"
 	"repro/internal/perfcost"
+	"repro/internal/sweep"
 )
 
-// Result is a regenerated paper artifact.
+// Result is a regenerated paper artifact. Every result also implements
+// sweep.Tabular (a Table method returning header plus data rows), which
+// the CSV exporter uses; the interface here stays minimal so render-only
+// consumers do not depend on the tabular form.
 type Result interface {
 	// ID is the experiment identifier (e.g. "fig2", "table5").
 	ID() string
@@ -20,6 +30,18 @@ type Result interface {
 	Title() string
 	// Render returns the terminal representation.
 	Render() string
+}
+
+// Every artifact carries a tabular form for the CSV exporter.
+var _ = []interface {
+	Result
+	sweep.Tabular
+}{
+	(*Table1Result)(nil), (*Table2Result)(nil), (*Table3Result)(nil),
+	(*Table4Result)(nil), (*Table5Result)(nil), (*Table6Result)(nil),
+	(*Fig2Result)(nil), (*Fig3Result)(nil), (*Fig4Result)(nil),
+	(*Fig6Result)(nil), (*Fig7Result)(nil), (*Fig8Result)(nil),
+	(*Fig9Result)(nil),
 }
 
 // Context carries the workbench-backed engine the drivers share.
@@ -90,7 +112,11 @@ func Titles() map[string]string {
 func (c *Context) Run(id string) (Result, error) {
 	for _, r := range registry {
 		if r.id == id {
-			return r.run(c)
+			res, err := r.run(c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", r.id, err)
+			}
+			return res, nil
 		}
 	}
 	ids := IDs()
@@ -98,8 +124,52 @@ func (c *Context) Run(id string) (Result, error) {
 	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 }
 
-// RunAll regenerates every artifact in registry order.
+// RunMany regenerates the named artifacts concurrently and returns them
+// in the order requested. Drivers overlap on the shared engine, whose
+// singleflight cache schedules each design cell exactly once; the first
+// error in request order is reported.
+func (c *Context) RunMany(ids []string) ([]Result, error) {
+	// Reject unknown ids before any driver runs: a typo must not cost a
+	// full regeneration of the valid requests.
+	known := map[string]bool{}
+	for _, r := range registry {
+		known[r.id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			valid := IDs()
+			sort.Strings(valid)
+			return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, valid)
+		}
+	}
+
+	type outcome struct {
+		res Result
+		err error
+	}
+	outcomes := sweep.Map(len(ids), ids, func(id string) outcome {
+		res, err := c.Run(id)
+		return outcome{res, err}
+	})
+	out := make([]Result, 0, len(ids))
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
+		}
+		out = append(out, o.res)
+	}
+	return out, nil
+}
+
+// RunAll regenerates every artifact, concurrently, in registry order.
 func (c *Context) RunAll() ([]Result, error) {
+	return c.RunMany(IDs())
+}
+
+// RunAllSequential regenerates every artifact one driver at a time, in
+// registry order: the pre-sweep baseline that BenchmarkRunAll compares the
+// concurrent orchestrator against.
+func (c *Context) RunAllSequential() ([]Result, error) {
 	out := make([]Result, 0, len(registry))
 	for _, r := range registry {
 		res, err := r.run(c)

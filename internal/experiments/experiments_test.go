@@ -14,17 +14,90 @@ var (
 	ctxErr  error
 )
 
-// testContext returns a shared moderate-size context (150 loops keeps the
-// full suite reasonably fast while preserving the calibrated shapes).
+// testContext returns a shared moderate-size context. The full tier uses
+// 150 loops, which preserves the calibrated shapes the fidelity tests
+// pin; the short tier trades the workbench down so `go test -short`
+// finishes in well under a minute, and the tests whose assertions need
+// the full workbench skip themselves via skipShortFidelity.
 func testContext(t *testing.T) *Context {
 	t.Helper()
 	ctxOnce.Do(func() {
-		ctx, ctxErr = NewContext(150, 0)
+		loops := 150
+		if testing.Short() {
+			loops = 60
+		}
+		ctx, ctxErr = NewContext(loops, 0)
 	})
 	if ctxErr != nil {
 		t.Fatal(ctxErr)
 	}
 	return ctx
+}
+
+// skipShortFidelity skips assertions calibrated against the 150-loop test
+// workbench; the reduced short-mode workbench preserves those shapes only
+// loosely.
+func skipShortFidelity(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-fidelity pins need the full test workbench")
+	}
+}
+
+// TestRunAllMatchesSequential pins the sweep orchestrator's contract: the
+// concurrent RunAll produces byte-identical renders, in registry order, to
+// the sequential baseline at equal workbench and seed.
+func TestRunAllMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		// Two full regenerations do not fit the short budget; the golden
+		// render tests guard output stability in the short tier.
+		t.Skip("full-tier test: regenerates every artifact twice")
+	}
+	seq, err := NewContext(20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := NewContext(20, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.RunAllSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := conc.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != len(registry) {
+		t.Fatalf("concurrent %d results, sequential %d, registry %d",
+			len(got), len(want), len(registry))
+	}
+	for i := range registry {
+		if got[i].ID() != registry[i].id {
+			t.Errorf("result %d is %s, want registry order %s", i, got[i].ID(), registry[i].id)
+		}
+		if got[i].Render() != want[i].Render() {
+			t.Errorf("%s: concurrent render deviates from sequential", got[i].ID())
+		}
+	}
+}
+
+// TestRunManyOrderAndErrors covers subset runs and error propagation.
+func TestRunManyOrderAndErrors(t *testing.T) {
+	c := testContext(t)
+	res, err := c.RunMany([]string{"table6", "table1", "fig6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []string{"table6", "table1", "fig6"} {
+		if res[i].ID() != id {
+			t.Errorf("result %d = %s, want %s (request order)", i, res[i].ID(), id)
+		}
+	}
+	if _, err := c.RunMany([]string{"table1", "nope"}); err == nil {
+		t.Error("unknown id in a batch must error")
+	}
 }
 
 func TestRegistry(t *testing.T) {

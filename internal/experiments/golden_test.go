@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden render files")
+
+// goldenContext is a small fixed-seed workbench, independent of the shared
+// test context, so the golden renders are stable and cheap to regenerate.
+func goldenContext(t *testing.T) *Context {
+	t.Helper()
+	c, err := NewContext(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestGoldenRenders pins the byte-exact terminal renders of table5 and
+// fig8 at a fixed seed. The goldens were captured from the pre-sweep
+// sequential implementation, and the artifacts here are regenerated
+// through the concurrent RunMany path, so the test proves in every tier
+// (short mode included) that the sweep executor does not change a single
+// byte of experiment output. Regenerate with
+//
+//	go test ./internal/experiments -run TestGoldenRenders -update
+func TestGoldenRenders(t *testing.T) {
+	c := goldenContext(t)
+	ids := []string{"table5", "fig8"}
+	results, err := c.RunMany(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		res := results[i]
+		t.Run(id, func(t *testing.T) {
+			if res.ID() != id {
+				t.Fatalf("RunMany slot %d holds %s, want %s", i, res.ID(), id)
+			}
+			got := "== " + res.ID() + ": " + res.Title() + "\n" + res.Render()
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s render deviates from golden.\n--- got ---\n%s\n--- want ---\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

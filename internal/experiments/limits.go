@@ -24,11 +24,14 @@ type Fig2Result struct {
 	Rows []Fig2Row
 }
 
-// Fig2 sweeps every power-of-two configuration up to factor 128.
+// Fig2 sweeps every power-of-two configuration up to factor 128, as one
+// concurrent batch.
 func Fig2(e *perfcost.Engine) (*Fig2Result, error) {
+	configs := machine.ConfigsUpToFactor(128)
+	speedups := e.PeakSpeedups(configs)
 	res := &Fig2Result{}
-	for _, c := range machine.ConfigsUpToFactor(128) {
-		res.Rows = append(res.Rows, Fig2Row{Config: c, Speedup: e.PeakSpeedup(c)})
+	for i, c := range configs {
+		res.Rows = append(res.Rows, Fig2Row{Config: c, Speedup: speedups[i]})
 	}
 	return res, nil
 }
@@ -36,6 +39,19 @@ func Fig2(e *perfcost.Engine) (*Fig2Result, error) {
 func (*Fig2Result) ID() string { return "fig2" }
 func (*Fig2Result) Title() string {
 	return "Figure 2: speed-up limits of replication and widening (infinite RF)"
+}
+
+// Table returns the flat (config, factor, speed-up) rows for CSV export.
+func (r *Fig2Result) Table() [][]string {
+	rows := [][]string{{"config", "factor", "speedup"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Config.String(),
+			fmt.Sprint(row.Config.Factor()),
+			fmt.Sprintf("%.4f", row.Speedup),
+		})
+	}
+	return rows
 }
 
 // Speedup returns the speed-up of a configuration, or 0 if absent.
@@ -128,7 +144,8 @@ func (r *Fig3Result) Speedup(cfg string, regs int) (float64, bool) {
 	return 0, false
 }
 
-func (r *Fig3Result) Render() string {
+// Table returns the speed-up matrix rows ("-" marks unschedulable cells).
+func (r *Fig3Result) Table() [][]string {
 	rows := [][]string{{"config", "32-RF", "64-RF", "128-RF", "256-RF"}}
 	for _, row := range r.Rows {
 		cells := []string{row.Config.String()}
@@ -141,5 +158,9 @@ func (r *Fig3Result) Render() string {
 		}
 		rows = append(rows, cells)
 	}
-	return textplot.Table(rows) + "(- = unschedulable within the register file)\n"
+	return rows
+}
+
+func (r *Fig3Result) Render() string {
+	return textplot.Table(r.Table()) + "(- = unschedulable within the register file)\n"
 }

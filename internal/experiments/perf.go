@@ -7,6 +7,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/machine"
 	"repro/internal/perfcost"
+	"repro/internal/sweep"
 	"repro/internal/textplot"
 )
 
@@ -77,15 +78,25 @@ func Fig8(e *perfcost.Engine) (*Fig8Result, error) {
 			{"8w1", 128, 8}, {"4w2", 128, 4}, {"2w4", 128, 2}, {"1w8", 128, 1},
 		}},
 	}
+	// Submit the four panels as one batch; the engine deduplicates the
+	// cells the panels share (1w1(128:1) appears in a, b and c).
+	var cells []sweep.Cell
+	for _, p := range panels {
+		for _, pt := range p.points {
+			cells = append(cells, sweep.Cell{Config: cfg(pt.cfg), Regs: pt.regs, Partitions: pt.parts})
+		}
+	}
+	points := e.EvaluateMany(cells)
 	res := &Fig8Result{}
+	i := 0
 	for _, p := range panels {
 		panel := Fig8Panel{Name: p.name}
-		for _, pt := range p.points {
-			point := e.Evaluate(cfg(pt.cfg), pt.regs, pt.parts)
+		for range p.points {
 			panel.Points = append(panel.Points, Fig8Point{
-				Point:   point,
-				Speedup: e.Speedup(point),
+				Point:   points[i],
+				Speedup: e.Speedup(points[i]),
 			})
+			i++
 		}
 		res.Panels = append(res.Panels, panel)
 	}
@@ -105,6 +116,29 @@ func (r *Fig8Result) Panel(letter string) *Fig8Panel {
 		}
 	}
 	return nil
+}
+
+// Table returns the flat per-point rows with a leading panel column.
+func (r *Fig8Result) Table() [][]string {
+	rows := [][]string{{"panel", "point", "Tc", "z", "speedup", "area_1e6_lambda2", "scheduled"}}
+	for _, panel := range r.Panels {
+		for _, p := range panel.Points {
+			status := "ok"
+			if !p.Point.OK {
+				status = fmt.Sprintf("%d loops failed", p.Point.Failures)
+			}
+			rows = append(rows, []string{
+				panel.Name,
+				p.Point.Label(),
+				fmt.Sprintf("%.2f", p.Point.Tc),
+				fmt.Sprint(p.Point.Z),
+				fmt.Sprintf("%.2f", p.Speedup),
+				fmt.Sprintf("%.0f", p.Point.Area/1e6),
+				status,
+			})
+		}
+	}
+	return rows
 }
 
 func (r *Fig8Result) Render() string {
@@ -162,10 +196,13 @@ type Fig9Result struct {
 	Techs []Fig9Tech
 }
 
-// Fig9 ranks the implementable design points of every generation.
+// Fig9 ranks the implementable design points of every generation. The
+// five generations are swept concurrently; the finer technologies admit
+// most of the coarser ones' cells, so the shared schedule cache absorbs
+// the bulk of the overlap.
 func Fig9(e *perfcost.Engine) (*Fig9Result, error) {
-	res := &Fig9Result{}
-	for _, tech := range area.SIA() {
+	techs := area.SIA()
+	entries := sweep.Map(len(techs), techs, func(tech area.Technology) Fig9Tech {
 		entry := Fig9Tech{Tech: tech}
 		for _, p := range e.TopFive(tech, 16) {
 			entry.Top = append(entry.Top, Fig9Point{
@@ -174,9 +211,9 @@ func Fig9(e *perfcost.Engine) (*Fig9Result, error) {
 				DieFraction: p.DieFraction(tech),
 			})
 		}
-		res.Techs = append(res.Techs, entry)
-	}
-	return res, nil
+		return entry
+	})
+	return &Fig9Result{Techs: entries}, nil
 }
 
 func (*Fig9Result) ID() string { return "fig9" }
@@ -192,6 +229,26 @@ func (r *Fig9Result) Top(lambda float64) []Fig9Point {
 		}
 	}
 	return nil
+}
+
+// Table returns the flat ranking rows with leading technology columns.
+func (r *Fig9Result) Table() [][]string {
+	rows := [][]string{{"tech", "year", "rank", "point", "Tc", "z", "speedup", "pct_die"}}
+	for _, t := range r.Techs {
+		for i, p := range t.Top {
+			rows = append(rows, []string{
+				t.Tech.String(),
+				fmt.Sprint(t.Tech.Year),
+				fmt.Sprint(i + 1),
+				p.Point.Label(),
+				fmt.Sprintf("%.2f", p.Point.Tc),
+				fmt.Sprint(p.Point.Z),
+				fmt.Sprintf("%.2f", p.Speedup),
+				fmt.Sprintf("%.1f", 100*p.DieFraction),
+			})
+		}
+	}
+	return rows
 }
 
 func (r *Fig9Result) Render() string {

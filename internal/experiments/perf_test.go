@@ -93,9 +93,7 @@ func TestFig8Panels(t *testing.T) {
 // implementable designs combine replication and widening; the most
 // aggressive pure designs never top the list.
 func TestFig9PaperConclusion(t *testing.T) {
-	if testing.Short() {
-		t.Skip("fig9 evaluates the full design space")
-	}
+	skipShortFidelity(t) // fig9 evaluates the full design space
 	c := testContext(t)
 	res, err := Fig9(c.Engine)
 	if err != nil {

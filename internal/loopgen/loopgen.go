@@ -64,8 +64,8 @@ type Params struct {
 
 // Defaults returns the calibrated parameter set: with these values the
 // workbench reproduces the shape of the paper's Figure 2 (replication
-// saturating near 10x, pure widening near 5x, 2wY near 8x — see
-// EXPERIMENTS.md for measured numbers).
+// saturating near 10x, pure widening near 5x, 2wY near 8x — regenerate
+// the measured numbers with `widening fig2`, see README.md).
 func Defaults() Params {
 	return Params{
 		Loops:          1180,

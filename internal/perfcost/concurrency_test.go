@@ -1,0 +1,103 @@
+package perfcost
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/sweep"
+)
+
+// TestEngineSingleflight hammers one engine from many goroutines over
+// overlapping suite keys (run under -race in CI) and asserts each unique
+// (config, registers, cycle model) cell is scheduled exactly once — the
+// singleflight contract that keeps the concurrent sweep no more expensive
+// than the sequential one.
+func TestEngineSingleflight(t *testing.T) {
+	p := loopgen.Defaults()
+	p.Loops = 20
+	suite, err := loopgen.Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(suite, nil)
+
+	keys := []struct {
+		cfg  machine.Config
+		regs int
+	}{
+		{cfg("1w1"), 32}, {cfg("1w1"), 64},
+		{cfg("2w1"), 64}, {cfg("1w2"), 64},
+		{cfg("2w2"), 128},
+	}
+	const hammerers = 24
+	results := make([][]SuiteResult, hammerers)
+	var wg sync.WaitGroup
+	for g := 0; g < hammerers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the keys in a different rotation so
+			// every cell sees concurrent duplicate arrivals.
+			results[g] = make([]SuiteResult, len(keys))
+			for i := range keys {
+				k := keys[(i+g)%len(keys)]
+				results[g][(i+g)%len(keys)] = e.SuiteCycles(k.cfg, k.regs, machine.FourCycle)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := e.Stats().SuiteComputes; got != int64(len(keys)) {
+		t.Errorf("SuiteComputes = %d, want %d (one per unique cell)", got, len(keys))
+	}
+	// Two widths were requested (1 and 2): each transformed exactly once.
+	if got := e.Stats().WidenComputes; got != 2 {
+		t.Errorf("WidenComputes = %d, want 2", got)
+	}
+	// Every hammerer observed the same memoized result per cell.
+	for g := 1; g < hammerers; g++ {
+		for i := range keys {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d saw a different result for %s(%d)",
+					g, keys[i].cfg, keys[i].regs)
+			}
+		}
+	}
+}
+
+// TestEvaluateManyMatchesSequential pins the batch API to the point-by-
+// point evaluator: same cells, same order, identical points — and the
+// duplicate cell in the panel costs no extra schedule.
+func TestEvaluateManyMatchesSequential(t *testing.T) {
+	e := testEngine(t, 15)
+	cells := []sweep.Cell{
+		{Config: cfg("1w1"), Regs: 32, Partitions: 1},
+		{Config: cfg("2w1"), Regs: 64, Partitions: 2},
+		{Config: cfg("1w2"), Regs: 64, Partitions: 1},
+		{Config: cfg("2w1"), Regs: 64, Partitions: 1}, // same suite, new partitioning
+		{Config: cfg("1w1"), Regs: 32, Partitions: 1}, // exact duplicate
+	}
+	batch := e.EvaluateMany(cells)
+	if len(batch) != len(cells) {
+		t.Fatalf("%d points for %d cells", len(batch), len(cells))
+	}
+	for i, c := range cells {
+		want := e.Evaluate(c.Config, c.Regs, c.Partitions)
+		if batch[i] != want {
+			t.Errorf("cell %d (%s): batch %+v != sequential %+v", i, c.Label(), batch[i], want)
+		}
+	}
+	// 1w1/32, 2w1/64, 1w2/64 under their selected cycle models; the
+	// duplicate and the re-partitioned cell reuse cached suites unless the
+	// partitioning changed the cycle model. Exact-once is the invariant:
+	// computes never exceeds unique suite keys.
+	unique := map[suiteKey]bool{}
+	for _, p := range batch {
+		unique[suiteKey{p.Config.Buses, p.Config.Width, p.Regs, p.Z}] = true
+	}
+	if got := e.Stats().SuiteComputes; got != int64(len(unique)) {
+		t.Errorf("SuiteComputes = %d, want %d unique suites", got, len(unique))
+	}
+}

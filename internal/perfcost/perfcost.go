@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/area"
 	"repro/internal/ddg"
@@ -34,11 +35,15 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/spill"
+	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/widen"
 )
 
-// Engine evaluates configurations over a fixed workbench.
+// Engine evaluates configurations over a fixed workbench. All entry points
+// are safe for concurrent use: the sweep orchestrator hammers one engine
+// from many goroutines, and the singleflight caches guarantee each unique
+// (config, registers, cycle model) cell is scheduled exactly once.
 type Engine struct {
 	loops  []*ddg.Loop
 	timing timing.Model
@@ -46,11 +51,17 @@ type Engine struct {
 	spill  *spill.Options
 	// workers bounds scheduling parallelism (defaults to GOMAXPROCS).
 	workers int
+	// sem bounds loop-level scheduling work engine-wide, so concurrent
+	// suites share the machine instead of multiplying goroutines.
+	sem chan struct{}
 
-	mu      sync.Mutex
-	widened map[int][]*ddg.Loop
-	suites  map[suiteKey]SuiteResult
-	peak    map[peakKey]float64
+	widened *sweep.Flight[int, []*ddg.Loop]
+	suites  *sweep.Flight[suiteKey, SuiteResult]
+	peak    *sweep.Flight[peakKey, float64]
+
+	widenComputes atomic.Int64
+	suiteComputes atomic.Int64
+	peakComputes  atomic.Int64
 }
 
 type suiteKey struct {
@@ -80,9 +91,9 @@ func New(loops []*ddg.Loop, opts *Options) *Engine {
 		timing:  timing.Default,
 		budget:  area.DefaultBudget,
 		workers: runtime.GOMAXPROCS(0),
-		widened: map[int][]*ddg.Loop{},
-		suites:  map[suiteKey]SuiteResult{},
-		peak:    map[peakKey]float64{},
+		widened: sweep.NewFlight[int, []*ddg.Loop](),
+		suites:  sweep.NewFlight[suiteKey, SuiteResult](),
+		peak:    sweep.NewFlight[peakKey, float64](),
 	}
 	if opts != nil {
 		if opts.Timing != nil {
@@ -96,7 +107,29 @@ func New(loops []*ddg.Loop, opts *Options) *Engine {
 			e.workers = opts.Workers
 		}
 	}
+	e.sem = make(chan struct{}, e.workers)
 	return e
+}
+
+// Stats is a snapshot of the engine's unique computation counts. Duplicate
+// concurrent requests coalesce on the singleflight caches and do not
+// increment the counters.
+type Stats struct {
+	// WidenComputes counts width transformations of the whole workbench.
+	WidenComputes int64
+	// SuiteComputes counts full register-constrained suite schedules.
+	SuiteComputes int64
+	// PeakComputes counts ILP-limit sweeps.
+	PeakComputes int64
+}
+
+// Stats returns the engine's computation counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		WidenComputes: e.widenComputes.Load(),
+		SuiteComputes: e.suiteComputes.Load(),
+		PeakComputes:  e.peakComputes.Load(),
+	}
 }
 
 // NewDefault builds an engine over the calibrated default workbench.
@@ -117,23 +150,35 @@ func (e *Engine) Budget() float64 { return e.budget }
 // Timing returns the access-time model in use.
 func (e *Engine) Timing() timing.Model { return e.timing }
 
-// widenedLoops returns the workbench transformed for a width, cached.
-func (e *Engine) widenedLoops(width int) []*ddg.Loop {
-	e.mu.Lock()
-	if w, ok := e.widened[width]; ok {
-		e.mu.Unlock()
-		return w
+// eachLoop runs fn(i) for i in [0, n) with every call holding one slot of
+// the engine-wide scheduling semaphore, so concurrent suites, peak sweeps
+// and widen transforms together never exceed e.workers loop-level tasks.
+// fn must not acquire the semaphore itself.
+func (e *Engine) eachLoop(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		e.sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-e.sem; wg.Done() }()
+			fn(i)
+		}(i)
 	}
-	e.mu.Unlock()
+	wg.Wait()
+}
 
-	out := make([]*ddg.Loop, len(e.loops))
-	for i, l := range e.loops {
-		out[i], _ = widen.Transform(l, width)
-	}
-	e.mu.Lock()
-	e.widened[width] = out
-	e.mu.Unlock()
-	return out
+// widenedLoops returns the workbench transformed for a width. The first
+// caller computes the transforms in parallel; concurrent callers for the
+// same width coalesce onto that computation.
+func (e *Engine) widenedLoops(width int) []*ddg.Loop {
+	return e.widened.Do(width, func() []*ddg.Loop {
+		e.widenComputes.Add(1)
+		out := make([]*ddg.Loop, len(e.loops))
+		e.eachLoop(len(e.loops), func(i int) {
+			out[i], _ = widen.Transform(e.loops[i], width)
+		})
+		return out
+	})
 }
 
 // SuiteResult aggregates register-constrained scheduling over the
@@ -157,16 +202,18 @@ type SuiteResult struct {
 }
 
 // SuiteCycles schedules the whole workbench on XwY with the given register
-// file size under a cycle model, with spill insertion. Results are cached.
+// file size under a cycle model, with spill insertion. Results are cached
+// with singleflight semantics: a duplicate cell arriving on two goroutines
+// waits for the first computation instead of recomputing the schedule.
 func (e *Engine) SuiteCycles(c machine.Config, regs int, model machine.CycleModel) SuiteResult {
 	key := suiteKey{c.Buses, c.Width, regs, model.Z}
-	e.mu.Lock()
-	if r, ok := e.suites[key]; ok {
-		e.mu.Unlock()
-		return r
-	}
-	e.mu.Unlock()
+	return e.suites.Do(key, func() SuiteResult {
+		return e.computeSuite(c, regs, model)
+	})
+}
 
+func (e *Engine) computeSuite(c machine.Config, regs int, model machine.CycleModel) SuiteResult {
+	e.suiteComputes.Add(1)
 	loops := e.widenedLoops(c.Width)
 	m := machine.New(c, regs, model)
 
@@ -177,34 +224,28 @@ func (e *Engine) SuiteCycles(c machine.Config, regs int, model machine.CycleMode
 		spillOps int
 	}
 	parts := make([]partial, len(loops))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
-	for i := range loops {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			r, err := spill.Schedule(loops[i], m, e.spill)
-			if err != nil || !r.OK {
-				// Charge the loop its non-pipelined cost: one flat
-				// schedule span per (unrolled) iteration. Registers at
-				// the flat schedule are not re-checked — the abstraction
-				// here is "the compiler emits unpipelined code".
-				parts[i].failed = true
-				if flat, ferr := sched.ModuloSchedule(loops[i],
-					machine.New(c, 1<<20, model), nil); ferr == nil {
-					parts[i].cycles = float64(e.loops[i].Trips) *
-						float64(flat.Length()) / float64(c.Width)
-				}
-				return
+	e.eachLoop(len(loops), func(i int) {
+		r, err := spill.Schedule(loops[i], m, e.spill)
+		if err != nil || !r.OK {
+			// Charge the loop its non-pipelined cost: one flat
+			// schedule span per (unrolled) iteration. Registers at
+			// the flat schedule are not re-checked — the abstraction
+			// here is "the compiler emits unpipelined code".
+			parts[i].failed = true
+			if flat, ferr := sched.ModuloSchedule(loops[i],
+				machine.New(c, 1<<20, model), nil); ferr == nil {
+				parts[i].cycles = float64(e.loops[i].Trips) *
+					float64(flat.Length()) / float64(c.Width)
 			}
-			parts[i].cycles = float64(e.loops[i].Trips) * float64(r.II()) / float64(c.Width)
-			parts[i].spilled = r.SpillStores+r.SpillLoads > 0
-			parts[i].spillOps = r.SpillStores + r.SpillLoads
-		}(i)
-	}
-	wg.Wait()
+			return
+		}
+		parts[i].cycles = float64(e.loops[i].Trips) * float64(r.II()) / float64(c.Width)
+		parts[i].spilled = r.SpillStores+r.SpillLoads > 0
+		parts[i].spillOps = r.SpillStores + r.SpillLoads
+	})
 
+	// Accumulate in loop order so the totals are bit-identical no matter
+	// how the parallel schedule interleaved.
 	res := SuiteResult{}
 	for _, p := range parts {
 		res.Cycles += p.cycles
@@ -220,10 +261,6 @@ func (e *Engine) SuiteCycles(c machine.Config, regs int, model machine.CycleMode
 	// Isolated stragglers ride on the flat-schedule fallback; a point
 	// where pipelining fails broadly is reported unschedulable.
 	res.OK = res.Failures*100 <= len(loops)
-
-	e.mu.Lock()
-	e.suites[key] = res
-	e.mu.Unlock()
 	return res
 }
 
@@ -232,35 +269,27 @@ func (e *Engine) SuiteCycles(c machine.Config, regs int, model machine.CycleMode
 // registers — the Section 3.1 ILP limit.
 func (e *Engine) PeakCycles(c machine.Config, model machine.CycleModel) float64 {
 	key := peakKey{c.Buses, c.Width, model.Z}
-	e.mu.Lock()
-	if v, ok := e.peak[key]; ok {
-		e.mu.Unlock()
-		return v
-	}
-	e.mu.Unlock()
-
-	loops := e.widenedLoops(c.Width)
-	cycles := make([]float64, len(loops))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
-	for i := range loops {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
+	return e.peak.Do(key, func() float64 {
+		e.peakComputes.Add(1)
+		loops := e.widenedLoops(c.Width)
+		cycles := make([]float64, len(loops))
+		e.eachLoop(len(loops), func(i int) {
 			ii := loops[i].MII(model, c.Buses, c.FPUs())
 			cycles[i] = float64(e.loops[i].Trips) * float64(ii) / float64(c.Width)
-		}(i)
-	}
-	wg.Wait()
-	var total float64
-	for _, v := range cycles {
-		total += v
-	}
-	e.mu.Lock()
-	e.peak[key] = total
-	e.mu.Unlock()
-	return total
+		})
+		// Sum in loop order for bit-identical totals.
+		var total float64
+		for _, v := range cycles {
+			total += v
+		}
+		return total
+	})
+}
+
+// PeakSpeedups evaluates the Figure 2 metric for a whole panel of
+// configurations concurrently, in submission order.
+func (e *Engine) PeakSpeedups(configs []machine.Config) []float64 {
+	return sweep.Map(e.workers, configs, e.PeakSpeedup)
 }
 
 // PeakSpeedup returns the Figure 2 metric: the ILP-limit speed-up of XwY
@@ -327,6 +356,16 @@ func (e *Engine) Evaluate(c machine.Config, regs, partitions int) Point {
 	return p
 }
 
+// EvaluateMany prices and times a whole panel of design cells
+// concurrently, returning points in submission order. Overlapping panels
+// coalesce on the engine's schedule cache, so each unique cell is
+// scheduled exactly once no matter how many drivers request it.
+func (e *Engine) EvaluateMany(cells []sweep.Cell) []Point {
+	return sweep.Map(e.workers, cells, func(c sweep.Cell) Point {
+		return e.Evaluate(c.Config, c.Regs, c.Partitions)
+	})
+}
+
 // Baseline returns the Section 5 reference point: 1w1(32:1), whose cycle
 // time is 1 and whose cycle model is 4-cycles by construction.
 func (e *Engine) Baseline() Point {
@@ -345,18 +384,15 @@ func (e *Engine) Speedup(p Point) float64 {
 // maxFactor, the paper's register file sizes, all valid partitions) that
 // fits the engine's area budget in the given technology.
 func (e *Engine) Implementable(tech area.Technology, maxFactor int) []Point {
-	var out []Point
-	for _, c := range machine.ConfigsUpToFactor(maxFactor) {
-		for _, regs := range machine.RegFileSizes {
-			for _, parts := range c.ValidPartitions() {
-				if !area.Implementable(c, regs, parts, tech, e.budget) {
-					continue
-				}
-				out = append(out, e.Evaluate(c, regs, parts))
-			}
+	// Price first (cheap, sequential), then submit the surviving cells as
+	// one concurrent batch.
+	var cells []sweep.Cell
+	for _, c := range sweep.DesignSpace(maxFactor) {
+		if area.Implementable(c.Config, c.Regs, c.Partitions, tech, e.budget) {
+			cells = append(cells, c)
 		}
 	}
-	return out
+	return e.EvaluateMany(cells)
 }
 
 // TopFive returns the five best implementable design points of a
@@ -392,8 +428,25 @@ type SpillRow struct {
 	Speedup map[int]float64
 }
 
-// SpillStudy computes Figure 3 for the given configurations.
+// SpillStudy computes Figure 3 for the given configurations. All
+// (configuration, register file) suites — the baseline included — are
+// scheduled as one concurrent batch before the rows are assembled in
+// submission order.
 func (e *Engine) SpillStudy(configs []machine.Config) []SpillRow {
+	type pair struct {
+		cfg  machine.Config
+		regs int
+	}
+	pairs := []pair{{machine.Config{Buses: 1, Width: 1}, 256}}
+	for _, c := range configs {
+		for _, regs := range machine.RegFileSizes {
+			pairs = append(pairs, pair{c, regs})
+		}
+	}
+	sweep.Each(e.workers, len(pairs), func(i int) {
+		e.SuiteCycles(pairs[i].cfg, pairs[i].regs, machine.FourCycle)
+	})
+
 	base := e.SuiteCycles(machine.Config{Buses: 1, Width: 1}, 256, machine.FourCycle)
 	rows := make([]SpillRow, 0, len(configs))
 	for _, c := range configs {

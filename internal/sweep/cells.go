@@ -1,0 +1,37 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Cell is one design-space cell of the Section 5 sweep: a configuration
+// XwY with a register file size and a partition count. Drivers submit
+// whole panels of cells to the batch evaluators instead of walking the
+// space point by point.
+type Cell struct {
+	Config     machine.Config
+	Regs       int
+	Partitions int
+}
+
+// Label renders the paper's XwY(Z:n) notation.
+func (c Cell) Label() string {
+	return fmt.Sprintf("%s(%d:%d)", c.Config, c.Regs, c.Partitions)
+}
+
+// DesignSpace enumerates every cell of the paper's design space up to
+// maxFactor: all XwY configurations crossed with the four register file
+// sizes and every valid partition count, in deterministic order.
+func DesignSpace(maxFactor int) []Cell {
+	var out []Cell
+	for _, c := range machine.ConfigsUpToFactor(maxFactor) {
+		for _, regs := range machine.RegFileSizes {
+			for _, parts := range c.ValidPartitions() {
+				out = append(out, Cell{Config: c, Regs: regs, Partitions: parts})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ParseFormats parses a comma-separated export format list ("json,csv"),
+// trimming spaces and dropping empty elements. It is the single source of
+// truth for the formats Export understands, so callers can fail fast on a
+// typo before doing any expensive work.
+func ParseFormats(s string) ([]string, error) {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		switch f = strings.TrimSpace(f); f {
+		case "json", "csv", "txt":
+			out = append(out, f)
+		case "":
+		default:
+			return nil, fmt.Errorf("sweep: unknown export format %q (want json, csv or txt)", f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: no export format selected (want json, csv or txt)")
+	}
+	return out, nil
+}
+
+// Artifact is a regenerated paper artifact as the export layer sees it;
+// experiments.Result satisfies it structurally.
+type Artifact interface {
+	ID() string
+	Title() string
+	Render() string
+}
+
+// Tabular is implemented by artifacts whose primary content is a table;
+// Table returns the header row followed by the data rows, the same rows
+// the terminal render draws.
+type Tabular interface {
+	Table() [][]string
+}
+
+// jsonEnvelope is the on-disk JSON shape: identification plus the full
+// typed result struct.
+type jsonEnvelope struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Data  any    `json:"data"`
+}
+
+// ExportJSON writes dir/<id>.json holding the artifact's typed rows and
+// returns the path.
+func ExportJSON(dir string, a Artifact) (string, error) {
+	buf, err := json.MarshalIndent(jsonEnvelope{ID: a.ID(), Title: a.Title(), Data: a}, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("sweep: marshal %s: %w", a.ID(), err)
+	}
+	return writeArtifact(dir, a.ID()+".json", append(buf, '\n'))
+}
+
+// ExportCSV writes dir/<id>.csv with the artifact's primary table and
+// returns the path. Artifacts that are not Tabular are reported as such.
+func ExportCSV(dir string, a Artifact) (string, error) {
+	tab, ok := a.(Tabular)
+	if !ok {
+		return "", fmt.Errorf("sweep: %s has no tabular form", a.ID())
+	}
+	path := filepath.Join(dir, a.ID()+".csv")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(tab.Table()); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ExportText writes dir/<id>.txt with the terminal render and returns the
+// path.
+func ExportText(dir string, a Artifact) (string, error) {
+	return writeArtifact(dir, a.ID()+".txt", []byte(a.Render()))
+}
+
+// Export writes every artifact in every requested format (see
+// ParseFormats) into dir and returns the written paths. Non-tabular
+// artifacts are skipped by the CSV exporter rather than failing the
+// batch.
+func Export(dir string, formats []string, artifacts []Artifact) ([]string, error) {
+	var paths []string
+	for _, a := range artifacts {
+		for _, format := range formats {
+			var (
+				p   string
+				err error
+			)
+			switch format {
+			case "json":
+				p, err = ExportJSON(dir, a)
+			case "csv":
+				if _, tabular := a.(Tabular); !tabular {
+					continue
+				}
+				p, err = ExportCSV(dir, a)
+			case "txt":
+				p, err = ExportText(dir, a)
+			default:
+				return paths, fmt.Errorf("sweep: unknown export format %q (want json, csv or txt)", format)
+			}
+			if err != nil {
+				return paths, err
+			}
+			paths = append(paths, p)
+		}
+	}
+	return paths, nil
+}
+
+func writeArtifact(dir, name string, data []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

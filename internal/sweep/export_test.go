@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeArtifact is a minimal tabular artifact for exercising the exporters.
+type fakeArtifact struct {
+	Rows []int
+}
+
+func (*fakeArtifact) ID() string     { return "fake1" }
+func (*fakeArtifact) Title() string  { return "a fake artifact" }
+func (*fakeArtifact) Render() string { return "rendered\n" }
+func (f *fakeArtifact) Table() [][]string {
+	out := [][]string{{"n"}}
+	for _, r := range f.Rows {
+		out = append(out, []string{strings.Repeat("x", r)})
+	}
+	return out
+}
+
+// bareArtifact has no tabular form.
+type bareArtifact struct{}
+
+func (bareArtifact) ID() string     { return "bare" }
+func (bareArtifact) Title() string  { return "no table" }
+func (bareArtifact) Render() string { return "prose\n" }
+
+func TestExportFormats(t *testing.T) {
+	dir := t.TempDir()
+	arts := []Artifact{&fakeArtifact{Rows: []int{1, 2}}, bareArtifact{}}
+	paths, err := Export(dir, []string{"json", "csv", "txt"}, arts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fake1 exports all three; bare skips CSV silently.
+	if len(paths) != 5 {
+		t.Fatalf("wrote %d files, want 5: %v", len(paths), paths)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "fake1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Data  struct {
+			Rows []int `json:"Rows"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.ID != "fake1" || env.Title == "" || len(env.Data.Rows) != 2 {
+		t.Errorf("json envelope = %+v", env)
+	}
+
+	csvBytes, err := os.ReadFile(filepath.Join(dir, "fake1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(csvBytes); got != "n\nx\nxx\n" {
+		t.Errorf("csv = %q", got)
+	}
+
+	txt, err := os.ReadFile(filepath.Join(dir, "fake1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(txt) != "rendered\n" {
+		t.Errorf("txt = %q", txt)
+	}
+
+	if _, err := Export(dir, []string{"yaml"}, arts); err == nil {
+		t.Error("unknown format must error")
+	}
+	if _, err := ExportCSV(dir, bareArtifact{}); err == nil {
+		t.Error("CSV of non-tabular artifact must error")
+	}
+}
+
+func TestParseFormats(t *testing.T) {
+	got, err := ParseFormats(" json, csv ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "json" || got[1] != "csv" {
+		t.Errorf("ParseFormats = %v", got)
+	}
+	if _, err := ParseFormats("yaml"); err == nil {
+		t.Error("unknown format must error")
+	}
+	if _, err := ParseFormats(" , "); err == nil {
+		t.Error("empty selection must error")
+	}
+}

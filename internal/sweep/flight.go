@@ -1,0 +1,54 @@
+package sweep
+
+import "sync"
+
+// Flight is a singleflight-style memo table: concurrent Do calls for the
+// same key coalesce onto one computation, and every completed computation
+// is cached forever. It replaces the check-compute-store pattern, which
+// recomputes a cell when two goroutines race past the cache miss.
+//
+// The zero value is not usable; call NewFlight.
+type Flight[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*flightEntry[V]
+}
+
+type flightEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// NewFlight returns an empty group.
+func NewFlight[K comparable, V any]() *Flight[K, V] {
+	return &Flight[K, V]{entries: map[K]*flightEntry[V]{}}
+}
+
+// Do returns the memoized value for key, computing it with fn exactly once
+// across all concurrent and future callers. Duplicate callers block until
+// the first computation finishes and then share its result.
+func (f *Flight[K, V]) Do(key K, fn func() V) V {
+	f.mu.Lock()
+	e, ok := f.entries[key]
+	if !ok {
+		e = &flightEntry[V]{}
+		f.entries[key] = e
+	}
+	f.mu.Unlock()
+	e.once.Do(func() { e.val = fn() })
+	return e.val
+}
+
+// Cached reports whether key has an entry (computed or in flight).
+func (f *Flight[K, V]) Cached(key K) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.entries[key]
+	return ok
+}
+
+// Len returns the number of keys ever requested.
+func (f *Flight[K, V]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}

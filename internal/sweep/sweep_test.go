@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 257
+		counts := make([]int32, n)
+		Each(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	Each(4, 0, func(int) { t.Fatal("n=0 must not call fn") })
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(8, in, func(v int) string { return fmt.Sprint(v * v) })
+	for i, s := range out {
+		if s != fmt.Sprint(i*i) {
+			t.Fatalf("out[%d] = %q", i, s)
+		}
+	}
+}
+
+func TestFlightComputesEachKeyOnce(t *testing.T) {
+	f := NewFlight[int, int]()
+	var computes atomic.Int64
+	const keys, callers = 16, 32
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				got := f.Do(k, func() int {
+					computes.Add(1)
+					return k * 10
+				})
+				if got != k*10 {
+					t.Errorf("Do(%d) = %d", k, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c := computes.Load(); c != keys {
+		t.Errorf("%d computations for %d unique keys", c, keys)
+	}
+	if f.Len() != keys {
+		t.Errorf("Len = %d", f.Len())
+	}
+	if !f.Cached(0) || f.Cached(keys) {
+		t.Error("Cached misreports")
+	}
+}
+
+func TestDesignSpaceEnumeration(t *testing.T) {
+	cells := DesignSpace(4)
+	if len(cells) == 0 {
+		t.Fatal("empty design space")
+	}
+	seen := map[Cell]bool{}
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate cell %s", c.Label())
+		}
+		seen[c] = true
+	}
+	// 8w1 needs factor 8; it must be absent at maxFactor 4.
+	for _, c := range cells {
+		if c.Config.Factor() > 4 {
+			t.Fatalf("cell %s exceeds factor 4", c.Label())
+		}
+	}
+}
+
+func TestCellLabel(t *testing.T) {
+	c := Cell{Config: machine.Config{Buses: 4, Width: 2}, Regs: 128, Partitions: 1}
+	if c.Label() != "4w2(128:1)" {
+		t.Errorf("Label = %q", c.Label())
+	}
+}

@@ -25,8 +25,8 @@
 // The five coefficients are calibrated by least squares against the
 // paper's own Table 4 (60 relative access times over 15 configurations x 4
 // register file sizes, normalized to 1w1 with 32 registers). The fit has
-// a mean absolute error near 2% and is pinned by tests; EXPERIMENTS.md
-// reports the full model-vs-paper table.
+// a mean absolute error near 2% and is pinned by tests; the table4
+// experiment renders the full model-vs-paper table.
 package timing
 
 import (
@@ -119,7 +119,7 @@ type Table4Entry struct {
 
 // PaperTable4 returns the paper's Table 4: relative access times for 15
 // configurations x 4 register file sizes, baseline 1w1 32-RF. This is the
-// calibration target and the reference EXPERIMENTS.md compares against.
+// calibration target the table4 experiment compares the model against.
 func PaperTable4() []Table4Entry {
 	cfg := func(x, y int) machine.Config { return machine.Config{Buses: x, Width: y} }
 	rows := []struct {
