@@ -7,9 +7,9 @@
 package repro
 
 import (
-	"sync"
 	"testing"
 
+	"repro/internal/benchsuite"
 	"repro/internal/ddg"
 	"repro/internal/experiments"
 	"repro/internal/lifetimes"
@@ -20,29 +20,22 @@ import (
 	"repro/internal/widen"
 )
 
-// benchLoops keeps the full harness runnable in minutes on one core; the
-// CLI regenerates the same artifacts at the paper's 1180-loop scale.
-const benchLoops = 100
-
-var (
-	benchOnce sync.Once
-	benchCtx  *experiments.Context
-	benchErr  error
-)
-
+// The reduced workbench size lives in benchsuite.BenchLoops; the CLI
+// regenerates the same artifacts at the paper's 1180-loop scale. The
+// experiments context is shared with benchsuite so a full bench run
+// builds it exactly once.
 func benchContext(b *testing.B) *experiments.Context {
 	b.Helper()
-	benchOnce.Do(func() {
-		benchCtx, benchErr = experiments.NewContext(benchLoops, 0)
-	})
-	if benchErr != nil {
-		b.Fatal(benchErr)
+	ctx, err := benchsuite.Context()
+	if err != nil {
+		b.Fatal(err)
 	}
-	return benchCtx
+	return ctx
 }
 
 func runExperiment(b *testing.B, id string) {
 	ctx := benchContext(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ctx.Run(id)
@@ -67,8 +60,10 @@ func BenchmarkTable3RFArea(b *testing.B) { runExperiment(b, "table3") }
 // BenchmarkTable4AccessTime regenerates Table 4 (access-time model vs paper).
 func BenchmarkTable4AccessTime(b *testing.B) { runExperiment(b, "table4") }
 
-// BenchmarkTable5Implementable regenerates Table 5 (implementability matrix).
-func BenchmarkTable5Implementable(b *testing.B) { runExperiment(b, "table5") }
+// BenchmarkTable5Implementable regenerates Table 5 (implementability
+// matrix). The body lives in benchsuite — with its own 100-loop context —
+// so `widening bench` reports the same workload.
+func BenchmarkTable5Implementable(b *testing.B) { benchsuite.Table5Implementable(b) }
 
 // BenchmarkTable6CycleModels regenerates Table 6 (latency models).
 func BenchmarkTable6CycleModels(b *testing.B) { runExperiment(b, "table6") }
@@ -114,7 +109,7 @@ func BenchmarkRunAll(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				ctx, err := experiments.NewContext(benchLoops, 0)
+				ctx, err := experiments.NewContext(benchsuite.BenchLoops, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -132,23 +127,13 @@ func BenchmarkRunAll(b *testing.B) {
 }
 
 // BenchmarkScheduler measures raw modulo-scheduling throughput over the
-// workbench on the baseline machine.
-func BenchmarkScheduler(b *testing.B) {
-	p := loopgen.Defaults()
-	p.Loops = 40
-	loops, err := loopgen.Workbench(p)
-	if err != nil {
-		b.Fatal(err)
-	}
-	m := machine.New(machine.Config{Buses: 2, Width: 1}, 256, machine.FourCycle)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l := loops[i%len(loops)]
-		if _, err := sched.ModuloSchedule(l, m, nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// workbench on the baseline machine. The body lives in benchsuite so the
+// `widening bench` subcommand reports the same workload.
+func BenchmarkScheduler(b *testing.B) { benchsuite.Scheduler(b) }
+
+// BenchmarkSchedulerCold is the same workload with a cold analysis cache
+// every iteration (each schedules a fresh clone).
+func BenchmarkSchedulerCold(b *testing.B) { benchsuite.SchedulerCold(b) }
 
 // BenchmarkWidenTransform measures the widening transformation at width 8.
 func BenchmarkWidenTransform(b *testing.B) {
@@ -278,18 +263,8 @@ func BenchmarkAblationWideningCapacity(b *testing.B) {
 }
 
 // BenchmarkRegisterPressure measures lifetime analysis plus allocation
-// throughput on scheduled loops.
-func BenchmarkRegisterPressure(b *testing.B) {
-	scheds := ablationSuite(b, nil)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s := scheds[i%len(scheds)]
-		set := lifetimes.Compute(s)
-		if regalloc.MinRegs(set, regalloc.EndFit) < set.MaxLive() {
-			b.Fatal("allocation below MaxLive")
-		}
-	}
-}
+// throughput on scheduled loops (shared with `widening bench`).
+func BenchmarkRegisterPressure(b *testing.B) { benchsuite.RegisterPressure(b) }
 
 var benchSink *ddg.Loop
 

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchsuite"
+)
+
+// runBench executes the scheduler-path micro-benchmarks in process and
+// prints a summary, optionally as machine-readable JSON (the format
+// committed as the BENCH_PR*.json trajectory files).
+//
+//	widening bench [-json] [-run Scheduler,RegisterPressure]
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary on stdout")
+	run := fs.String("run", "", "comma-separated benchmark names (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected := benchsuite.All()
+	if *run != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []benchsuite.Bench
+		for _, b := range selected {
+			if want[b.Name] {
+				filtered = append(filtered, b)
+				delete(want, b.Name)
+			}
+		}
+		if len(want) > 0 {
+			return fmt.Errorf("unknown benchmark(s): %s", strings.Join(mapKeys(want), ", "))
+		}
+		selected = filtered
+	}
+
+	type benchRow struct {
+		Name        string  `json:"name"`
+		Iterations  int     `json:"iterations"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	}
+	summary := struct {
+		GOOS       string     `json:"goos"`
+		GOARCH     string     `json:"goarch"`
+		GoVersion  string     `json:"go_version"`
+		GOMAXPROCS int        `json:"gomaxprocs"`
+		UnixTime   int64      `json:"unix_time"`
+		Benchmarks []benchRow `json:"benchmarks"`
+	}{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		UnixTime:   time.Now().Unix(),
+	}
+
+	for _, b := range selected {
+		if !*asJSON {
+			fmt.Fprintf(os.Stderr, "running %s...\n", b.Name)
+		}
+		r := testing.Benchmark(b.Fn)
+		if r.N == 0 {
+			// testing.Benchmark returns a zero-iteration result when the
+			// body calls b.Fatal (e.g. workbench construction failed).
+			return fmt.Errorf("benchmark %s failed during setup or run", b.Name)
+		}
+		summary.Benchmarks = append(summary.Benchmarks, benchRow{
+			Name:        b.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(summary)
+	}
+	for _, row := range summary.Benchmarks {
+		fmt.Printf("%-22s %10d iter %14.0f ns/op %8d B/op %6d allocs/op\n",
+			row.Name, row.Iterations, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	return nil
+}
+
+func mapKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -6,6 +6,7 @@
 //
 //	widening [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
 //	widening schedule -config 4w2 -regs 64 -kernel daxpy
+//	widening bench -json
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
@@ -41,6 +42,9 @@ func main() {
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "schedule" {
 		return runSchedule(args[1:])
+	}
+	if len(args) > 0 && args[0] == "bench" {
+		return runBench(args[1:])
 	}
 
 	fs := flag.NewFlagSet("widening", flag.ContinueOnError)
@@ -140,5 +144,6 @@ func runSchedule(args []string) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   widening [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
-  widening schedule -config 4w2 -regs 64 -kernel daxpy|list`)
+  widening schedule -config 4w2 -regs 64 -kernel daxpy|list
+  widening bench [-json] [-run Scheduler,RegisterPressure,Table5Implementable]`)
 }

@@ -1,0 +1,154 @@
+// Package benchsuite defines the scheduler-path micro-benchmarks shared
+// by the repository's `go test -bench` harness (bench_test.go) and the
+// `widening bench` subcommand: one definition of each workload keeps the
+// committed benchmark trajectory (BENCH_PR2.json) and the test-driven
+// numbers measuring the same thing.
+//
+// Every benchmark reports allocations: the scheduler hot-path work is
+// tracked on allocs/op as much as on ns/op.
+package benchsuite
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/experiments"
+	"repro/internal/lifetimes"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/regalloc"
+	"repro/internal/sched"
+)
+
+// Bench is one named micro-benchmark.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// All lists the benchmarks the `widening bench` subcommand runs, in
+// execution order.
+func All() []Bench {
+	return []Bench{
+		{"Scheduler", Scheduler},
+		{"SchedulerCold", SchedulerCold},
+		{"RegisterPressure", RegisterPressure},
+		{"Table5Implementable", Table5Implementable},
+	}
+}
+
+// BenchLoops is the reduced workbench size the artifact benchmarks use
+// (the root bench_test.go shares it): large enough to exercise every
+// scheduling path, small enough to keep a full bench run in minutes on
+// one core.
+const BenchLoops = 100
+
+func workbench(b *testing.B, loops int) []*ddg.Loop {
+	b.Helper()
+	p := loopgen.Defaults()
+	p.Loops = loops
+	suite, err := loopgen.Workbench(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return suite
+}
+
+// Scheduler measures raw modulo-scheduling throughput over the workbench
+// on the baseline machine (the hot path every artifact bottoms out in).
+// The 40 loops are reused across iterations, so the steady state includes
+// ddg.Analysis cache hits — which is also how the engine uses the
+// scheduler (the same loop is re-scheduled across register sizes, cycle
+// models and spill-pass II retries). SchedulerCold measures the
+// first-visit cost.
+func Scheduler(b *testing.B) {
+	loops := workbench(b, 40)
+	m := machine.New(machine.Config{Buses: 2, Width: 1}, 256, machine.FourCycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := loops[i%len(loops)]
+		if _, err := sched.ModuloSchedule(l, m, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SchedulerCold is Scheduler with a cold analysis cache on every
+// iteration: each call schedules a fresh clone, so the number includes
+// the graph analyses a first-time loop pays (as the spill pass's clones
+// do).
+func SchedulerCold(b *testing.B) {
+	loops := workbench(b, 40)
+	m := machine.New(machine.Config{Buses: 2, Width: 1}, 256, machine.FourCycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := loops[i%len(loops)].Clone()
+		if _, err := sched.ModuloSchedule(l, m, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RegisterPressure measures lifetime analysis plus allocation throughput
+// on scheduled loops.
+func RegisterPressure(b *testing.B) {
+	loops := workbench(b, 60)
+	m := machine.New(machine.Config{Buses: 4, Width: 1}, 1<<20, machine.FourCycle)
+	var scheds []*sched.Schedule
+	for _, l := range loops {
+		s, err := sched.ModuloSchedule(l, m, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scheds = append(scheds, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := scheds[i%len(scheds)]
+		set := lifetimes.Compute(s)
+		if regalloc.MinRegs(set, regalloc.EndFit) < set.MaxLive() {
+			b.Fatal("allocation below MaxLive")
+		}
+	}
+}
+
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Context
+	ctxErr  error
+)
+
+// Context returns the process-wide experiments context over the
+// BenchLoops workbench, built once and shared by every artifact
+// benchmark (bench_test.go's table/figure benchmarks included), so a
+// full bench run pays for workbench synthesis exactly once.
+func Context() (*experiments.Context, error) {
+	ctxOnce.Do(func() { ctx, ctxErr = experiments.NewContext(BenchLoops, 0) })
+	return ctx, ctxErr
+}
+
+// Table5Implementable regenerates Table 5 (the implementability matrix)
+// over the reduced workbench — an end-to-end artifact benchmark whose cost
+// is dominated by suite scheduling on the first iteration and by the
+// engine's caches afterwards.
+func Table5Implementable(b *testing.B) {
+	ctx, err := Context()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Run("table5")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}

@@ -6,86 +6,17 @@ import (
 	"repro/internal/machine"
 )
 
+// The analyses below are memoized per loop: each method is a thin wrapper
+// over the Analysis cache (see analysis.go), so repeated calls — the
+// scheduler's ordering phase, the MII bound, and every spill-pass
+// reschedule — pay the graph traversals once. The returned slices and
+// maps are owned by the cache and must be treated as read-only.
+
 // SCCs returns the strongly connected components of the dependence graph
 // (Tarjan's algorithm, iterative). Components are returned in reverse
 // topological order of the condensation (consumers before producers);
 // within a component, node order is unspecified but deterministic.
-func (l *Loop) SCCs() [][]int {
-	n := len(l.Ops)
-	succs := l.Succs()
-
-	const unvisited = -1
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var (
-		stack   []int
-		counter int
-		out     [][]int
-	)
-
-	type frame struct {
-		v    int
-		edge int
-	}
-	var call []frame
-	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
-			continue
-		}
-		call = append(call[:0], frame{v: root})
-		index[root] = counter
-		low[root] = counter
-		counter++
-		stack = append(stack, root)
-		onStack[root] = true
-
-		for len(call) > 0 {
-			f := &call[len(call)-1]
-			if f.edge < len(succs[f.v]) {
-				w := succs[f.v][f.edge].To
-				f.edge++
-				if index[w] == unvisited {
-					index[w] = counter
-					low[w] = counter
-					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					call = append(call, frame{v: w})
-				} else if onStack[w] && index[w] < low[f.v] {
-					low[f.v] = index[w]
-				}
-				continue
-			}
-			// Post-order: pop f.v.
-			v := f.v
-			call = call[:len(call)-1]
-			if len(call) > 0 {
-				parent := &call[len(call)-1]
-				if low[v] < low[parent.v] {
-					low[parent.v] = low[v]
-				}
-			}
-			if low[v] == index[v] {
-				var comp []int
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, w)
-					if w == v {
-						break
-					}
-				}
-				out = append(out, comp)
-			}
-		}
-	}
-	return out
-}
+func (l *Loop) SCCs() [][]int { return l.Analysis().SCCs() }
 
 // RecMII returns the recurrence-constrained lower bound on the initiation
 // interval under the given cycle model: the maximum over all dependence
@@ -93,29 +24,7 @@ func (l *Loop) SCCs() [][]int {
 // have RecMII 1. The bound is computed per strongly connected component by
 // binary search on II with a positive-cycle feasibility test (an II is
 // feasible iff no cycle has total latency > II * total distance).
-func (l *Loop) RecMII(model machine.CycleModel) int {
-	best := 1
-	for _, comp := range l.SCCs() {
-		if len(comp) == 1 {
-			// A single node is recurrent only through a self edge.
-			v := comp[0]
-			self := false
-			for _, e := range l.Edges {
-				if e.From == v && e.To == v {
-					self = true
-					break
-				}
-			}
-			if !self {
-				continue
-			}
-		}
-		if m := l.recMIIOfComponent(comp, model); m > best {
-			best = m
-		}
-	}
-	return best
-}
+func (l *Loop) RecMII(model machine.CycleModel) int { return l.Analysis().RecMII(model) }
 
 // recMIIOfComponent binary-searches the smallest II for which the component
 // has no positive cycle under weights lat(from) - II*dist.
@@ -194,38 +103,13 @@ func (l *Loop) recMIIOfComponent(comp []int, model machine.CycleModel) int {
 // single unit still needs its full occupancy within one II, which the
 // ceiling division captures.
 func (l *Loop) ResMII(model machine.CycleModel, buses, fpus int) int {
-	memSlots, fpuSlots := 0, 0
-	for _, op := range l.Ops {
-		occ := model.Occupancy(op.Kind)
-		if op.Kind.IsMem() {
-			memSlots += occ
-		} else {
-			fpuSlots += occ
-		}
-	}
-	mii := 1
-	if buses > 0 && memSlots > 0 {
-		if m := ceilDiv(memSlots, buses); m > mii {
-			mii = m
-		}
-	}
-	if fpus > 0 && fpuSlots > 0 {
-		if m := ceilDiv(fpuSlots, fpus); m > mii {
-			mii = m
-		}
-	}
-	return mii
+	return l.Analysis().ResMII(model, buses, fpus)
 }
 
 // MII returns max(ResMII, RecMII): the lower bound on the initiation
 // interval (the "perfect schedule" performance of Section 3.1).
 func (l *Loop) MII(model machine.CycleModel, buses, fpus int) int {
-	res := l.ResMII(model, buses, fpus)
-	rec := l.RecMII(model)
-	if rec > res {
-		return rec
-	}
-	return res
+	return l.Analysis().MII(model, buses, fpus)
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
@@ -233,121 +117,24 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // ASAP returns, for each operation, its earliest start time considering
 // only distance-0 dependences (the acyclic core of the body). Used by the
 // scheduler's ordering phase.
-func (l *Loop) ASAP(model machine.CycleModel) []int {
-	n := len(l.Ops)
-	asap := make([]int, n)
-	order := l.topoOrderZeroDist()
-	for _, v := range order {
-		for _, e := range l.Edges {
-			if e.Dist != 0 || e.To != v {
-				continue
-			}
-			if t := asap[e.From] + model.Latency(l.Ops[e.From].Kind); t > asap[v] {
-				asap[v] = t
-			}
-		}
-	}
-	return asap
-}
+func (l *Loop) ASAP(model machine.CycleModel) []int { return l.Analysis().ASAP(model) }
 
 // ALAP returns, for each operation, its latest start time such that the
 // distance-0 critical path still fits in the same span as ASAP's.
-func (l *Loop) ALAP(model machine.CycleModel) []int {
-	asap := l.ASAP(model)
-	span := 0
-	for _, t := range asap {
-		if t > span {
-			span = t
-		}
-	}
-	n := len(l.Ops)
-	alap := make([]int, n)
-	for i := range alap {
-		alap[i] = span
-	}
-	order := l.topoOrderZeroDist()
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		for _, e := range l.Edges {
-			if e.Dist != 0 || e.From != v {
-				continue
-			}
-			if t := alap[e.To] - model.Latency(l.Ops[v].Kind); t < alap[v] {
-				alap[v] = t
-			}
-		}
-	}
-	return alap
-}
+func (l *Loop) ALAP(model machine.CycleModel) []int { return l.Analysis().ALAP(model) }
 
 // CriticalPath returns the length in cycles of the longest distance-0
 // dependence chain (the body's schedule length lower bound at infinite
 // resources, before overlap).
 func (l *Loop) CriticalPath(model machine.CycleModel) int {
-	asap := l.ASAP(model)
-	best := 0
-	for v, t := range asap {
-		end := t + model.Latency(l.Ops[v].Kind)
-		if end > best {
-			best = end
-		}
-	}
-	return best
-}
-
-// topoOrderZeroDist returns a topological order of the distance-0 subgraph.
-// Validate guarantees it is a DAG.
-func (l *Loop) topoOrderZeroDist() []int {
-	n := len(l.Ops)
-	adj := make([][]int, n)
-	indeg := make([]int, n)
-	for _, e := range l.Edges {
-		if e.Dist == 0 {
-			adj[e.From] = append(adj[e.From], e.To)
-			indeg[e.To]++
-		}
-	}
-	queue := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			queue = append(queue, v)
-		}
-	}
-	order := make([]int, 0, n)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
-		for _, w := range adj[v] {
-			indeg[w]--
-			if indeg[w] == 0 {
-				queue = append(queue, w)
-			}
-		}
-	}
-	return order
+	return l.Analysis().CriticalPath(model)
 }
 
 // RecurrenceOps returns the set of operations that belong to a dependence
 // cycle (a strongly connected component of size > 1, or a self edge).
 // These operations are never compactable: their instances in consecutive
 // iterations are serially dependent.
-func (l *Loop) RecurrenceOps() map[int]bool {
-	rec := make(map[int]bool)
-	for _, comp := range l.SCCs() {
-		if len(comp) > 1 {
-			for _, v := range comp {
-				rec[v] = true
-			}
-		}
-	}
-	for _, e := range l.Edges {
-		if e.From == e.To {
-			rec[e.From] = true
-		}
-	}
-	return rec
-}
+func (l *Loop) RecurrenceOps() map[int]bool { return l.Analysis().RecurrenceOps() }
 
 // Stats summarizes a loop for workload reporting.
 type Stats struct {

@@ -18,6 +18,7 @@ package ddg
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/machine"
 )
@@ -61,6 +62,8 @@ type Edge struct {
 }
 
 // Loop is the dependence graph of one inner loop plus its execution weight.
+// A Loop must not be copied by value once in use: it carries its analysis
+// cache (see Analysis), which Clone deliberately does not share.
 type Loop struct {
 	// Name identifies the loop in reports.
 	Name string
@@ -69,6 +72,9 @@ type Loop struct {
 	Trips int64
 	Ops   []Op
 	Edges []Edge
+
+	// analysis memoizes the scheduling analyses; see Loop.Analysis.
+	analysis atomic.Pointer[Analysis]
 }
 
 // NumOps returns the number of operations in the loop body.
@@ -79,6 +85,20 @@ func (l *Loop) NumOps() int { return len(l.Ops) }
 // acyclicity of the distance-0 subgraph (an intra-iteration dependence
 // cycle is not executable).
 func (l *Loop) Validate() error {
+	if err := l.validateShape(); err != nil {
+		return err
+	}
+	// The distance-0 subgraph must be a DAG for the loop body to be
+	// executable.
+	if topoOrderZeroDist(len(l.Ops), l.Edges) == nil {
+		return fmt.Errorf("ddg: loop %q: distance-0 subgraph has a cycle", l.Name)
+	}
+	return nil
+}
+
+// validateShape runs every Validate check except distance-0 acyclicity
+// (Analysis.Validate supplies that one from its cached topological order).
+func (l *Loop) validateShape() error {
 	if l.Trips < 1 {
 		return fmt.Errorf("ddg: loop %q: trips must be >= 1, got %d", l.Name, l.Trips)
 	}
@@ -112,42 +132,7 @@ func (l *Loop) Validate() error {
 		// dependences (e.g. a spill store feeding the corresponding
 		// reload), not register flows.
 	}
-	if cyc := l.zeroDistCycle(); cyc {
-		return fmt.Errorf("ddg: loop %q: distance-0 subgraph has a cycle", l.Name)
-	}
 	return nil
-}
-
-// zeroDistCycle reports whether the subgraph of distance-0 edges contains a
-// cycle (it must be a DAG for the loop body to be executable).
-func (l *Loop) zeroDistCycle() bool {
-	adj := make([][]int, len(l.Ops))
-	indeg := make([]int, len(l.Ops))
-	for _, e := range l.Edges {
-		if e.Dist == 0 {
-			adj[e.From] = append(adj[e.From], e.To)
-			indeg[e.To]++
-		}
-	}
-	queue := make([]int, 0, len(l.Ops))
-	for v, d := range indeg {
-		if d == 0 {
-			queue = append(queue, v)
-		}
-	}
-	seen := 0
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		seen++
-		for _, w := range adj[v] {
-			indeg[w]--
-			if indeg[w] == 0 {
-				queue = append(queue, w)
-			}
-		}
-	}
-	return seen != len(l.Ops)
 }
 
 // Clone returns a deep copy of the loop.
@@ -158,23 +143,13 @@ func (l *Loop) Clone() *Loop {
 	return out
 }
 
-// Preds returns, for each operation, the list of incoming edges.
-func (l *Loop) Preds() [][]Edge {
-	p := make([][]Edge, len(l.Ops))
-	for _, e := range l.Edges {
-		p[e.To] = append(p[e.To], e)
-	}
-	return p
-}
+// Preds returns, for each operation, the list of incoming edges. The
+// result is memoized; callers must treat it as read-only.
+func (l *Loop) Preds() [][]Edge { return l.Analysis().Preds() }
 
-// Succs returns, for each operation, the list of outgoing edges.
-func (l *Loop) Succs() [][]Edge {
-	s := make([][]Edge, len(l.Ops))
-	for _, e := range l.Edges {
-		s[e.From] = append(s[e.From], e)
-	}
-	return s
-}
+// Succs returns, for each operation, the list of outgoing edges. The
+// result is memoized; callers must treat it as read-only.
+func (l *Loop) Succs() [][]Edge { return l.Analysis().Succs() }
 
 // Counts returns the number of operations of each kind, in basic-operation
 // units for wide operations disabled (each op counts once regardless of

@@ -10,6 +10,11 @@
 // iterations' long operations round-robin across the replicated units, so
 // a loop with one 19-cycle divide per iteration can still sustain II = 10
 // on two dividers.
+//
+// Rows are stored as uint64 bitset words: a fits/reserve/unreserve over a
+// window of rows is a handful of word-mask operations instead of per-row
+// modulo arithmetic, which is what makes the scheduler's inner placement
+// loop cheap.
 package mrt
 
 import "fmt"
@@ -52,31 +57,56 @@ func (r Reservation) PrimaryUnit() int { return r.Spans[0].Unit }
 // identical units per resource class.
 type Table struct {
 	ii    int
+	words int // uint64 words per unit: ceil(ii/64)
 	units [2][]unitRows
 }
 
 type unitRows struct {
-	busy []bool // length ii
-	used int    // busy rows, for cheap utilization queries
+	bits []uint64 // row r busy iff bits[r/64]>>(r%64)&1; rows >= ii unused
+	used int      // busy rows, for cheap utilization queries
 }
 
 // New returns an empty table for the given initiation interval and unit
 // counts. It panics on non-positive arguments: the scheduler never asks
 // for a degenerate table.
 func New(ii, buses, fpus int) *Table {
+	t := &Table{}
+	t.init(ii, buses, fpus)
+	return t
+}
+
+func (t *Table) init(ii, buses, fpus int) {
 	if ii < 1 || buses < 1 || fpus < 1 {
 		panic(fmt.Sprintf("mrt: invalid table (ii=%d, buses=%d, fpus=%d)", ii, buses, fpus))
 	}
-	t := &Table{ii: ii}
-	t.units[Mem] = make([]unitRows, buses)
-	t.units[FPU] = make([]unitRows, fpus)
+	t.ii = ii
+	t.words = (ii + 63) / 64
+	counts := [2]int{Mem: buses, FPU: fpus}
 	for c := range t.units {
+		if cap(t.units[c]) >= counts[c] {
+			t.units[c] = t.units[c][:counts[c]]
+		} else {
+			t.units[c] = make([]unitRows, counts[c])
+		}
 		for u := range t.units[c] {
-			t.units[c][u].busy = make([]bool, ii)
+			ur := &t.units[c][u]
+			if cap(ur.bits) >= t.words {
+				ur.bits = ur.bits[:t.words]
+				for w := range ur.bits {
+					ur.bits[w] = 0
+				}
+			} else {
+				ur.bits = make([]uint64, t.words)
+			}
+			ur.used = 0
 		}
 	}
-	return t
 }
+
+// Reset clears the table and resizes it for a new initiation interval,
+// reusing the row storage. The scheduler's II search calls it once per
+// candidate II instead of allocating a fresh table.
+func (t *Table) Reset(ii, buses, fpus int) { t.init(ii, buses, fpus) }
 
 // II returns the table's initiation interval.
 func (t *Table) II() int { return t.ii }
@@ -84,39 +114,112 @@ func (t *Table) II() int { return t.ii }
 // Units returns the number of units in a class.
 func (t *Table) Units(c Class) int { return len(t.units[c]) }
 
-// fits reports whether unit u of class c is free at all occ rows starting
-// at cycle mod ii.
-func (t *Table) fits(c Class, u, cycle, occ int) bool {
-	rows := t.units[c][u].busy
-	start := mod(cycle, t.ii)
-	for i := 0; i < occ; i++ {
-		if rows[(start+i)%t.ii] {
-			return false
+// wordMask returns the mask with bits [lo, hi) set; 0 <= lo < hi <= 64.
+func wordMask(lo, hi int) uint64 {
+	return (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+}
+
+// anyBusy reports whether any row in [from, to) is reserved (no wrap).
+func anyBusy(bits []uint64, from, to int) bool {
+	fw, lw := from>>6, (to-1)>>6
+	if fw == lw {
+		return bits[fw]&wordMask(from&63, (to-1)&63+1) != 0
+	}
+	if bits[fw]&wordMask(from&63, 64) != 0 {
+		return true
+	}
+	for w := fw + 1; w < lw; w++ {
+		if bits[w] != 0 {
+			return true
 		}
 	}
-	return true
+	return bits[lw]&wordMask(0, (to-1)&63+1) != 0
+}
+
+// setBusy marks rows [from, to) reserved (no wrap).
+func setBusy(bits []uint64, from, to int) {
+	fw, lw := from>>6, (to-1)>>6
+	if fw == lw {
+		bits[fw] |= wordMask(from&63, (to-1)&63+1)
+		return
+	}
+	bits[fw] |= wordMask(from&63, 64)
+	for w := fw + 1; w < lw; w++ {
+		bits[w] = ^uint64(0)
+	}
+	bits[lw] |= wordMask(0, (to-1)&63+1)
+}
+
+// clearBusy frees rows [from, to) (no wrap), panicking when any of them is
+// not currently reserved — releasing something never placed is a scheduler
+// bug.
+func clearBusy(bits []uint64, from, to int) {
+	fw, lw := from>>6, (to-1)>>6
+	if fw == lw {
+		m := wordMask(from&63, (to-1)&63+1)
+		if bits[fw]&m != m {
+			panic(fmt.Sprintf("mrt: releasing unreserved rows in [%d,%d)", from, to))
+		}
+		bits[fw] &^= m
+		return
+	}
+	m := wordMask(from&63, 64)
+	if bits[fw]&m != m {
+		panic(fmt.Sprintf("mrt: releasing unreserved rows in [%d,%d)", from, to))
+	}
+	bits[fw] &^= m
+	for w := fw + 1; w < lw; w++ {
+		if bits[w] != ^uint64(0) {
+			panic(fmt.Sprintf("mrt: releasing unreserved rows in [%d,%d)", from, to))
+		}
+		bits[w] = 0
+	}
+	m = wordMask(0, (to-1)&63+1)
+	if bits[lw]&m != m {
+		panic(fmt.Sprintf("mrt: releasing unreserved rows in [%d,%d)", from, to))
+	}
+	bits[lw] &^= m
+}
+
+// fits reports whether unit u of class c is free at all occ rows starting
+// at cycle mod ii. occ must be in [1, ii].
+func (t *Table) fits(c Class, u, cycle, occ int) bool {
+	ur := &t.units[c][u]
+	start := mod(cycle, t.ii)
+	if occ == 1 {
+		return ur.bits[start>>6]&(1<<uint(start&63)) == 0
+	}
+	if occ >= t.ii {
+		return ur.used == 0
+	}
+	if end := start + occ; end <= t.ii {
+		return !anyBusy(ur.bits, start, end)
+	}
+	return !anyBusy(ur.bits, start, t.ii) && !anyBusy(ur.bits, 0, start+occ-t.ii)
 }
 
 func (t *Table) reserve(c Class, u, cycle, occ int) {
-	rows := t.units[c][u].busy
+	ur := &t.units[c][u]
 	start := mod(cycle, t.ii)
-	for i := 0; i < occ; i++ {
-		rows[(start+i)%t.ii] = true
+	if end := start + occ; end <= t.ii {
+		setBusy(ur.bits, start, end)
+	} else {
+		setBusy(ur.bits, start, t.ii)
+		setBusy(ur.bits, 0, end-t.ii)
 	}
-	t.units[c][u].used += occ
+	ur.used += occ
 }
 
 func (t *Table) unreserve(c Class, u, cycle, occ int) {
-	rows := t.units[c][u].busy
+	ur := &t.units[c][u]
 	start := mod(cycle, t.ii)
-	for i := 0; i < occ; i++ {
-		r := (start + i) % t.ii
-		if !rows[r] {
-			panic(fmt.Sprintf("mrt: releasing unreserved row %d of %s unit %d", r, c, u))
-		}
-		rows[r] = false
+	if end := start + occ; end <= t.ii {
+		clearBusy(ur.bits, start, end)
+	} else {
+		clearBusy(ur.bits, start, t.ii)
+		clearBusy(ur.bits, 0, end-t.ii)
 	}
-	t.units[c][u].used -= occ
+	ur.used -= occ
 }
 
 // Place reserves occ rows of class c starting at cycle. For occ <= II the
@@ -125,25 +228,37 @@ func (t *Table) unreserve(c Class, u, cycle, occ int) {
 // returns ok=false without reserving anything when the class cannot
 // accommodate the reservation.
 func (t *Table) Place(c Class, cycle, occ int) (Reservation, bool) {
+	var r Reservation
+	if !t.PlaceInto(&r, c, cycle, occ) {
+		return Reservation{}, false
+	}
+	return r, true
+}
+
+// PlaceInto is Place writing the reservation into *r, reusing r's span
+// storage. The scheduler's placement arena calls it so that re-placing an
+// evicted operation does not allocate. On failure r is left with an empty
+// span list and nothing is reserved.
+func (t *Table) PlaceInto(r *Reservation, c Class, cycle, occ int) bool {
 	if occ < 1 {
 		panic(fmt.Sprintf("mrt: non-positive occupancy %d", occ))
 	}
-	res := Reservation{Class: c}
+	r.Class = c
+	r.Spans = r.Spans[:0]
 	if occ <= t.ii {
 		for u := range t.units[c] {
 			if t.fits(c, u, cycle, occ) {
 				t.reserve(c, u, cycle, occ)
-				res.Spans = []Span{{Unit: u, Cycle: cycle, Occ: occ}}
-				return res, true
+				r.Spans = append(r.Spans, Span{Unit: u, Cycle: cycle, Occ: occ})
+				return true
 			}
 		}
-		return Reservation{}, false
+		return false
 	}
 
 	full := occ / t.ii
 	rem := occ % t.ii
-	var spans []Span
-	taken := make(map[int]bool)
+	want := full + sign(rem)
 	// The remainder span leads (it is the issue slot). Prefer a partially
 	// used unit for it so fully-free units stay available for the full
 	// spans.
@@ -164,29 +279,37 @@ func (t *Table) Place(c Class, cycle, occ int) (Reservation, bool) {
 			}
 		}
 		if remUnit == -1 {
-			return Reservation{}, false
+			r.Spans = r.Spans[:0]
+			return false
 		}
-		spans = append(spans, Span{Unit: remUnit, Cycle: cycle, Occ: rem})
-		taken[remUnit] = true
+		r.Spans = append(r.Spans, Span{Unit: remUnit, Cycle: cycle, Occ: rem})
 	}
 	for u := range t.units[c] {
-		if len(spans) == full+sign(rem) {
+		if len(r.Spans) == want {
 			break
 		}
-		if taken[u] || t.units[c][u].used != 0 {
+		if t.units[c][u].used != 0 || spansContainUnit(r.Spans, u) {
 			continue
 		}
-		spans = append(spans, Span{Unit: u, Cycle: cycle, Occ: t.ii})
-		taken[u] = true
+		r.Spans = append(r.Spans, Span{Unit: u, Cycle: cycle, Occ: t.ii})
 	}
-	if len(spans) != full+sign(rem) {
-		return Reservation{}, false // nothing reserved yet; no rollback needed
+	if len(r.Spans) != want {
+		r.Spans = r.Spans[:0]
+		return false // nothing reserved yet; no rollback needed
 	}
-	for _, s := range spans {
+	for _, s := range r.Spans {
 		t.reserve(c, s.Unit, s.Cycle, s.Occ)
 	}
-	res.Spans = spans
-	return res, true
+	return true
+}
+
+func spansContainUnit(spans []Span, u int) bool {
+	for _, s := range spans {
+		if s.Unit == u {
+			return true
+		}
+	}
+	return false
 }
 
 func sign(x int) int {

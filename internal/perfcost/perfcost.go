@@ -155,6 +155,19 @@ func (e *Engine) Timing() timing.Model { return e.timing }
 // and widen transforms together never exceed e.workers loop-level tasks.
 // fn must not acquire the semaphore itself.
 func (e *Engine) eachLoop(n int, fn func(i int)) {
+	if e.workers == 1 {
+		// Sequential fast path: a single-worker engine can never overlap
+		// loop tasks, so the goroutine spawn + WaitGroup round-trip per
+		// loop is pure overhead (every suite on a one-core host pays it
+		// thousands of times). Each call still holds a semaphore slot so
+		// concurrent suites keep the engine-wide bound.
+		for i := 0; i < n; i++ {
+			e.sem <- struct{}{}
+			fn(i)
+			<-e.sem
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)

@@ -23,8 +23,13 @@ func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
 	if n == 0 {
 		return nil
 	}
-	asap := l.ASAP(model)
-	alap := l.ALAP(model)
+	// ASAP/ALAP, per-component recurrence criticality and the undirected
+	// adjacency all come from the loop's analysis cache: a reschedule of
+	// the same loop (every spill-pass II retry) reorders without
+	// re-traversing the graph.
+	a := l.Analysis()
+	asap := a.ASAP(model)
+	alap := a.ALAP(model)
 	slack := make([]int, n)
 	for v := 0; v < n; v++ {
 		slack[v] = alap[v] - asap[v]
@@ -32,25 +37,10 @@ func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
 
 	// Per-node recurrence criticality: the RecMII of the node's component
 	// (0 for nodes outside recurrences).
-	recPrio := make([]int, n)
-	for _, comp := range l.SCCs() {
-		if len(comp) == 1 && !hasSelfEdge(l, comp[0]) {
-			continue
-		}
-		sub := componentRecMII(l, comp, model)
-		for _, v := range comp {
-			recPrio[v] = sub
-		}
-	}
+	recPrio := a.RecPrio(model)
 
 	// Undirected adjacency for frontier expansion.
-	adj := make([][]int, n)
-	for _, e := range l.Edges {
-		if e.From != e.To {
-			adj[e.From] = append(adj[e.From], e.To)
-			adj[e.To] = append(adj[e.To], e.From)
-		}
-	}
+	adj := a.Adjacency()
 
 	ordered := make([]bool, n)
 	frontier := make([]bool, n) // unordered nodes adjacent to ordered set
@@ -120,38 +110,6 @@ func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
 		add(v)
 	}
 	return order
-}
-
-func hasSelfEdge(l *ddg.Loop, v int) bool {
-	for _, e := range l.Edges {
-		if e.From == v && e.To == v {
-			return true
-		}
-	}
-	return false
-}
-
-// componentRecMII computes the recurrence bound of a single component by
-// building a sub-loop of just that component and reusing ddg.RecMII.
-func componentRecMII(l *ddg.Loop, comp []int, model machine.CycleModel) int {
-	idx := make(map[int]int, len(comp))
-	sorted := append([]int(nil), comp...)
-	sort.Ints(sorted)
-	sub := &ddg.Loop{Name: l.Name + "/scc", Trips: 1}
-	for i, v := range sorted {
-		idx[v] = i
-		op := l.Ops[v]
-		op.ID = i
-		sub.Ops = append(sub.Ops, op)
-	}
-	for _, e := range l.Edges {
-		fi, okF := idx[e.From]
-		ti, okT := idx[e.To]
-		if okF && okT {
-			sub.Edges = append(sub.Edges, ddg.Edge{From: fi, To: ti, Dist: e.Dist})
-		}
-	}
-	return sub.RecMII(model)
 }
 
 // NaiveOrder is the ablation baseline: plain topological (ASAP-then-ID)

@@ -186,11 +186,17 @@ var ErrNoSchedule = errors.New("sched: no feasible schedule within II budget")
 // ModuloSchedule software-pipelines the loop onto the machine. The loop
 // must already be width-transformed for the machine (see the widen
 // package); the scheduler treats wide operations as single operations.
+//
+// Every graph analysis the schedule needs (validation, ordering inputs,
+// the MII bound, ASAP times, adjacency) is served from the loop's
+// analysis cache, so rescheduling the same loop — the spill pass does it
+// at every II retry — pays for the traversals once.
 func ModuloSchedule(l *ddg.Loop, m machine.Machine, opts *Options) (*Schedule, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if err := l.Validate(); err != nil {
+	a := l.Analysis()
+	if err := a.Validate(); err != nil {
 		return nil, err
 	}
 	var o Options
@@ -209,7 +215,7 @@ func ModuloSchedule(l *ddg.Loop, m machine.Machine, opts *Options) (*Schedule, e
 		return nil, fmt.Errorf("sched: ordering returned %d of %d ops", len(order), l.NumOps())
 	}
 
-	mii := l.MII(model, buses, fpus)
+	mii := a.MII(model, buses, fpus)
 	if o.MinII > mii {
 		mii = o.MinII
 	}
@@ -217,12 +223,13 @@ func ModuloSchedule(l *ddg.Loop, m machine.Machine, opts *Options) (*Schedule, e
 	if maxII == 0 {
 		maxII = safeMaxII(l, model, mii)
 	}
-	preds := l.Preds()
-	succs := l.Succs()
-	asap := l.ASAP(model)
 
+	// One scratch arena serves the whole II search: the placement state
+	// (times, reservations, heap, reservation table) is reset in place at
+	// each candidate II instead of being reallocated.
+	sc := newPlacer(l, model, order, a.Preds(), a.Succs(), a.ASAP(model))
 	for ii := mii; ii <= maxII; ii++ {
-		if s, ok := tryPlace(l, model, buses, fpus, ii, order, preds, succs, asap); ok {
+		if s, ok := sc.tryPlace(buses, fpus, ii); ok {
 			s.Buses, s.FPUs = buses, fpus
 			return s, nil
 		}
@@ -245,27 +252,169 @@ func safeMaxII(l *ddg.Loop, model machine.CycleModel, mii int) int {
 	return mii + l.CriticalPath(model) + totalOcc*(maxOcc+1) + 8
 }
 
-// tryPlace attempts a schedule at a fixed II following the given order.
-func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
-	order []int, preds, succs [][]ddg.Edge, asap []int) (*Schedule, bool) {
+const inf = int(^uint(0) >> 2)
 
-	n := l.NumOps()
-	time := make([]int, n)
-	res := make([]mrt.Reservation, n)
-	placed := make([]bool, n)
-	lastForced := make([]int, n)
-	table := mrt.New(ii, buses, fpus)
+// placer is the per-search scratch arena of the placement phase. One
+// placer serves every candidate II of a ModuloSchedule call: tryPlace
+// resets the state in place instead of reallocating it, and the final
+// schedule hands the time/reservation arrays off without copying.
+type placer struct {
+	l            *ddg.Loop
+	model        machine.CycleModel
+	preds, succs [][]ddg.Edge
+	asap         []int
 
-	const inf = int(^uint(0) >> 2)
-	for v := range lastForced {
-		lastForced[v] = -inf
-	}
 	// rank[v] is v's position in the scheduling order; the next operation
 	// to (re)place is always the unplaced one with the smallest rank.
-	rank := make([]int, n)
-	for i, v := range order {
-		rank[v] = i
+	order []int
+	rank  []int
+
+	time       []int
+	res        []mrt.Reservation
+	placed     []bool
+	lastForced []int
+
+	// heap is an indexed min-heap of operations keyed by rank, with lazy
+	// deletion: popping skips entries whose operation was placed since
+	// being pushed. Ranks are unique, so the pop order matches the
+	// linear smallest-rank scan it replaces exactly.
+	heap []int
+
+	table *mrt.Table
+
+	// unitOps[class][unit] lists the placed operations holding a span on
+	// that unit — the eviction path's per-unit reservation index, replacing
+	// a scan of all operations per unit.
+	unitOps [2][][]int
+	victims []int
+}
+
+func newPlacer(l *ddg.Loop, model machine.CycleModel, order []int,
+	preds, succs [][]ddg.Edge, asap []int) *placer {
+
+	n := l.NumOps()
+	p := &placer{
+		l: l, model: model, order: order,
+		preds: preds, succs: succs, asap: asap,
+		rank:       make([]int, n),
+		time:       make([]int, n),
+		res:        make([]mrt.Reservation, n),
+		placed:     make([]bool, n),
+		lastForced: make([]int, n),
+		heap:       make([]int, 0, n),
 	}
+	for i, v := range order {
+		p.rank[v] = i
+	}
+	return p
+}
+
+// reset prepares the arena for a fresh placement attempt at the given II.
+func (p *placer) reset(buses, fpus, ii int) {
+	for v := range p.placed {
+		p.placed[v] = false
+		p.lastForced[v] = -inf
+	}
+	// The order is rank-ascending, so it is already a valid min-heap.
+	p.heap = append(p.heap[:0], p.order...)
+	if p.table == nil {
+		p.table = mrt.New(ii, buses, fpus)
+	} else {
+		p.table.Reset(ii, buses, fpus)
+	}
+	counts := [2]int{mrt.Mem: buses, mrt.FPU: fpus}
+	for c := range p.unitOps {
+		if cap(p.unitOps[c]) < counts[c] {
+			p.unitOps[c] = make([][]int, counts[c])
+		}
+		p.unitOps[c] = p.unitOps[c][:counts[c]]
+		for u := range p.unitOps[c] {
+			p.unitOps[c][u] = p.unitOps[c][u][:0]
+		}
+	}
+}
+
+func (p *placer) heapPush(v int) {
+	h := append(p.heap, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if p.rank[h[parent]] <= p.rank[h[i]] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	p.heap = h
+}
+
+func (p *placer) heapPop() int {
+	h := p.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	p.heap = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		small := l
+		if r := l + 1; r < len(h) && p.rank[h[r]] < p.rank[h[l]] {
+			small = r
+		}
+		if p.rank[h[i]] <= p.rank[h[small]] {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+// popUnplaced returns the unplaced operation with the smallest rank,
+// discarding stale heap entries, or -1 when none remains.
+func (p *placer) popUnplaced() int {
+	for len(p.heap) > 0 {
+		if v := p.heapPop(); !p.placed[v] {
+			return v
+		}
+	}
+	return -1
+}
+
+// indexAdd records v's reservation spans in the per-unit index.
+func (p *placer) indexAdd(v int) {
+	r := &p.res[v]
+	for _, sp := range r.Spans {
+		p.unitOps[r.Class][sp.Unit] = append(p.unitOps[r.Class][sp.Unit], v)
+	}
+}
+
+// indexRemove drops v's reservation spans from the per-unit index.
+func (p *placer) indexRemove(v int) {
+	r := &p.res[v]
+	for _, sp := range r.Spans {
+		list := p.unitOps[r.Class][sp.Unit]
+		for i, w := range list {
+			if w == v {
+				list[i] = list[len(list)-1]
+				p.unitOps[r.Class][sp.Unit] = list[:len(list)-1]
+				break
+			}
+		}
+	}
+}
+
+// tryPlace attempts a schedule at a fixed II following the placer's order.
+func (p *placer) tryPlace(buses, fpus, ii int) (*Schedule, bool) {
+	l, model := p.l, p.model
+	n := l.NumOps()
+	p.reset(buses, fpus, ii)
+	time, res, placed, lastForced := p.time, p.res, p.placed, p.lastForced
+	table := p.table
 
 	budget := 8*n + 64
 	remaining := n
@@ -275,11 +424,9 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 			return nil, false
 		}
 		// Pick the unplaced op with the best (smallest) rank.
-		v := -1
-		for u := 0; u < n; u++ {
-			if !placed[u] && (v == -1 || rank[u] < rank[v]) {
-				v = u
-			}
+		v := p.popUnplaced()
+		if v < 0 {
+			return nil, false // unreachable: remaining > 0 implies an entry
 		}
 		op := l.Ops[v]
 		occ := model.Occupancy(op.Kind)
@@ -287,7 +434,7 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 
 		estart, lstart := -inf, inf
 		hasPred, hasSucc := false, false
-		for _, e := range preds[v] {
+		for _, e := range p.preds[v] {
 			if e.From == v || !placed[e.From] {
 				continue
 			}
@@ -296,7 +443,7 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 				estart = t
 			}
 		}
-		for _, e := range succs[v] {
+		for _, e := range p.succs[v] {
 			if e.To == v || !placed[e.To] {
 				continue
 			}
@@ -308,7 +455,10 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 		// Self edges (dist >= 1) constrain II, not the start time, and MII
 		// already accounts for them.
 
-		var candidates []int
+		// Candidate cycles are scanned directly — a window of at most II
+		// cycles, forward or backward depending on which neighbours are
+		// placed — instead of materializing a candidate slice per op.
+		var from, to, step int
 		switch {
 		case hasPred && !hasSucc:
 			// Start no earlier than one II behind the frontier: a node
@@ -319,21 +469,15 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 			if fb := frontier - ii + 1; fb > base {
 				base = fb
 			}
-			for t := base; t < base+ii; t++ {
-				candidates = append(candidates, t)
-			}
+			from, to, step = base, base+ii-1, 1
 		case !hasPred && hasSucc:
-			for t := lstart; t > lstart-ii; t-- {
-				candidates = append(candidates, t)
-			}
+			from, to, step = lstart, lstart-ii+1, -1
 		case hasPred && hasSucc:
 			hi := lstart
 			if estart+ii-1 < hi {
 				hi = estart + ii - 1
 			}
-			for t := estart; t <= hi; t++ {
-				candidates = append(candidates, t)
-			}
+			from, to, step = estart, hi, 1
 		default:
 			// No placed neighbours: this seeds a new connected component.
 			// Start near the schedule frontier rather than at the flat
@@ -342,19 +486,18 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 			// pressure at the DAG's antichain width even at enormous IIs
 			// (HRMS's whole point is scheduling each operation next to
 			// already-placed work).
-			base := asap[v]
+			base := p.asap[v]
 			if frontier > base {
 				base = frontier
 			}
-			for t := base; t < base+ii; t++ {
-				candidates = append(candidates, t)
-			}
+			from, to, step = base, base+ii-1, 1
 		}
 
 		done := false
-		for _, t := range candidates {
-			if r, ok := table.Place(class, t, occ); ok {
-				time[v], res[v], placed[v] = t, r, true
+		for t := from; (step > 0 && t <= to) || (step < 0 && t >= to); t += step {
+			if table.PlaceInto(&res[v], class, t, occ) {
+				time[v], placed[v] = t, true
+				p.indexAdd(v)
 				done = true
 				break
 			}
@@ -376,7 +519,7 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 		case hasSucc:
 			tf = lstart
 		default:
-			tf = asap[v]
+			tf = p.asap[v]
 			if frontier > tf {
 				tf = frontier
 			}
@@ -389,36 +532,37 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 		evict := func(u int) {
 			if placed[u] {
 				table.Release(res[u])
+				p.indexRemove(u)
 				placed[u] = false
+				p.heapPush(u)
 				remaining++
 			}
 		}
 		// Dependence victims: placed neighbours whose constraint against
 		// time[v] = tf no longer holds.
-		for _, e := range preds[v] {
+		for _, e := range p.preds[v] {
 			if e.From != v && placed[e.From] &&
 				tf < time[e.From]+model.Latency(l.Ops[e.From].Kind)-ii*e.Dist {
 				evict(e.From)
 			}
 		}
-		for _, e := range succs[v] {
+		for _, e := range p.succs[v] {
 			if e.To != v && placed[e.To] &&
 				time[e.To] < tf+model.Latency(op.Kind)-ii*e.Dist {
 				evict(e.To)
 			}
 		}
 
-		// Resource victims.
+		// Resource victims, found through the per-unit reservation index.
+		p.victims = p.victims[:0]
 		if occ <= ii {
 			// Free one unit's conflicting rows: pick the unit of the class
 			// with the fewest conflicting reservations.
 			bestUnit, bestCount := -1, inf
-			units := unitCount(class, buses, fpus)
-			for u := 0; u < units; u++ {
+			for u := range p.unitOps[class] {
 				cnt := 0
-				for w := 0; w < n; w++ {
-					if placed[w] && w != v && res[w].Class == class &&
-						reservationTouchesUnit(res[w], u, tf, occ, ii) {
+				for _, w := range p.unitOps[class][u] {
+					if w != v && reservationTouchesUnit(res[w], u, tf, occ, ii) {
 						cnt++
 					}
 				}
@@ -426,26 +570,30 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 					bestUnit, bestCount = u, cnt
 				}
 			}
-			for w := 0; w < n; w++ {
-				if placed[w] && w != v && res[w].Class == class &&
-					reservationTouchesUnit(res[w], bestUnit, tf, occ, ii) {
-					evict(w)
+			for _, w := range p.unitOps[class][bestUnit] {
+				if w != v && reservationTouchesUnit(res[w], bestUnit, tf, occ, ii) {
+					p.victims = append(p.victims, w)
 				}
 			}
 		} else {
 			// Multi-unit reservation: evict every operation of the class
 			// (rare: a non-pipelined op at an II below its occupancy).
-			for w := 0; w < n; w++ {
-				if placed[w] && w != v && res[w].Class == class {
-					evict(w)
+			for u := range p.unitOps[class] {
+				for _, w := range p.unitOps[class][u] {
+					if w != v {
+						p.victims = append(p.victims, w)
+					}
 				}
 			}
 		}
-		r, ok := table.Place(class, tf, occ)
-		if !ok {
+		for _, w := range p.victims {
+			evict(w)
+		}
+		if !table.PlaceInto(&res[v], class, tf, occ) {
 			return nil, false // class too small for the reservation at this II
 		}
-		time[v], res[v], placed[v] = tf, r, true
+		time[v], placed[v] = tf, true
+		p.indexAdd(v)
 		if tf > frontier {
 			frontier = tf
 		}
@@ -473,27 +621,19 @@ func tryPlace(l *ddg.Loop, model machine.CycleModel, buses, fpus, ii int,
 	return &Schedule{Loop: l, II: ii, Time: time, Res: res, Model: model}, true
 }
 
-func unitCount(c mrt.Class, buses, fpus int) int {
-	if c == mrt.Mem {
-		return buses
-	}
-	return fpus
-}
-
 // reservationTouchesUnit reports whether any span of r on the given unit
-// overlaps the occ rows starting at cycle tf.
+// overlaps the occ rows starting at cycle tf: a circular-interval
+// intersection test per span instead of comparing rows pairwise.
 func reservationTouchesUnit(r mrt.Reservation, unit, tf, occ, ii int) bool {
 	for _, sp := range r.Spans {
 		if sp.Unit != unit {
 			continue
 		}
-		for i := 0; i < sp.Occ; i++ {
-			row := mod(sp.Cycle+i, ii)
-			for j := 0; j < occ; j++ {
-				if row == mod(tf+j, ii) {
-					return true
-				}
-			}
+		// Rows [a, a+sp.Occ) and [b, b+occ) intersect mod ii iff one
+		// start falls within the other interval.
+		a, b := mod(sp.Cycle, ii), mod(tf, ii)
+		if mod(b-a, ii) < sp.Occ || mod(a-b, ii) < occ {
+			return true
 		}
 	}
 	return false
