@@ -22,8 +22,14 @@ func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary on stdout")
 	run := fs.String("run", "", "comma-separated benchmark names (default: all)")
+	wl := fs.String("workload", "", "workload scenario to benchmark over (default: the trajectory's default scenario)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *wl != "" {
+		if err := benchsuite.SetWorkload(*wl); err != nil {
+			return err
+		}
 	}
 
 	selected := benchsuite.All()
@@ -57,6 +63,7 @@ func runBench(args []string) error {
 		GOARCH     string     `json:"goarch"`
 		GoVersion  string     `json:"go_version"`
 		GOMAXPROCS int        `json:"gomaxprocs"`
+		Workload   string     `json:"workload"`
 		UnixTime   int64      `json:"unix_time"`
 		Benchmarks []benchRow `json:"benchmarks"`
 	}{
@@ -64,6 +71,7 @@ func runBench(args []string) error {
 		GOARCH:     runtime.GOARCH,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   benchsuite.Workload(),
 		UnixTime:   time.Now().Unix(),
 	}
 

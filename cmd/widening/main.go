@@ -4,19 +4,23 @@
 //
 // Usage:
 //
-//	widening [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+//	widening [-workload NAME|FILE] [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+//	widening workload list | show | export | import
 //	widening schedule -config 4w2 -regs 64 -kernel daxpy
 //	widening bench -json
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
-//	fig2 fig3 fig4 fig6 fig7 fig8 fig9
+//	fig2 fig3 fig4 fig6 fig7 fig8 fig9 workloads
 //
 // The selected experiments are regenerated concurrently by the sweep
 // orchestrator (the engine's schedule cache deduplicates the design cells
-// the drivers share) and printed in the order requested. -out exports the
-// structured artifacts (JSON/CSV/plain text) next to the terminal render.
-// The full 1180-loop workbench still takes a while for fig3/fig8/fig9;
+// the drivers share) and printed in the order requested. -workload swaps
+// the loop suite: a registered scenario (see `widening workload list`) or
+// a workload file exported by `widening workload export`. -out exports
+// the structured artifacts (JSON/CSV/plain text) next to the terminal
+// render, plus a manifest.json recording the workload provenance. The
+// full 1180-loop workbench still takes a while for fig3/fig8/fig9;
 // -loops trades fidelity for speed.
 package main
 
@@ -46,10 +50,15 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "bench" {
 		return runBench(args[1:])
 	}
+	if len(args) > 0 && args[0] == "workload" {
+		return runWorkload(args[1:])
+	}
 
 	fs := flag.NewFlagSet("widening", flag.ContinueOnError)
-	loops := fs.Int("loops", 0, "workbench size (0 = the paper's 1180 loops)")
-	seed := fs.Int64("seed", 0, "workbench seed (0 = calibrated default)")
+	wl := fs.String("workload", core.DefaultWorkload,
+		"workload scenario name (see `widening workload list`) or workload file path")
+	loops := fs.Int("loops", 0, "workbench size (0 = the workload's default)")
+	seed := fs.Int64("seed", 0, "workbench seed (0 = the workload's default)")
 	out := fs.String("out", "", "directory for structured artifact export (empty = no export)")
 	format := fs.String("format", "json,csv", "comma-separated export formats: json, csv, txt")
 	if err := fs.Parse(args); err != nil {
@@ -65,7 +74,7 @@ func run(args []string) error {
 		titles := experiments.Titles()
 		sort.Strings(ids)
 		for _, id := range ids {
-			fmt.Printf("%-8s %s\n", id, titles[id])
+			fmt.Printf("%-10s %s\n", id, titles[id])
 		}
 		return nil
 	}
@@ -80,7 +89,7 @@ func run(args []string) error {
 		}
 	}
 
-	ctx, err := experiments.NewContext(*loops, *seed)
+	ctx, err := resolveContext(*wl, *loops, *seed)
 	if err != nil {
 		return err
 	}
@@ -99,14 +108,32 @@ func run(args []string) error {
 
 	if *out != "" {
 		artifacts := make([]sweep.Artifact, len(results))
+		ids := make([]string, len(results))
 		for i, r := range results {
 			artifacts[i] = r
+			ids[i] = r.ID()
 		}
 		paths, err := sweep.Export(*out, formats, artifacts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("exported %d file(s) to %s\n", len(paths), *out)
+		manifest := sweep.Manifest{
+			Workload:  *wl,
+			Loops:     *loops,
+			Seed:      *seed,
+			Formats:   formats,
+			Artifacts: ids,
+		}
+		if !isScenario(*wl) {
+			// A file-backed workload carries its own suite; the -loops and
+			// -seed overrides had no effect and must not be recorded as
+			// provenance.
+			manifest.Loops, manifest.Seed = 0, 0
+		}
+		if _, err := sweep.WriteManifest(*out, manifest); err != nil {
+			return err
+		}
+		fmt.Printf("exported %d file(s) + manifest.json to %s\n", len(paths), *out)
 	}
 	return nil
 }
@@ -143,7 +170,11 @@ func runSchedule(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  widening [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+  widening [-workload NAME|FILE] [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+  widening workload list
+  widening workload show -name divheavy [-loops N] [-seed S]
+  widening workload export -name divheavy [-o div.json] [-loops N] [-seed S]
+  widening workload import -in div.json
   widening schedule -config 4w2 -regs 64 -kernel daxpy|list
-  widening bench [-json] [-run Scheduler,RegisterPressure,Table5Implementable]`)
+  widening bench [-json] [-workload NAME] [-run Scheduler,RegisterPressure,Table5Implementable]`)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -50,6 +51,99 @@ func TestRunExportsArtifacts(t *testing.T) {
 	}
 	if err := run([]string{"-loops", "5", "-out", dir, "-format", "yaml", "table1"}); err == nil {
 		t.Error("unknown export format must error")
+	}
+}
+
+func TestRunWorkloadFlag(t *testing.T) {
+	if err := run([]string{"-loops", "5", "-workload", "kernels", "table6"}); err != nil {
+		t.Fatalf("-workload kernels: %v", err)
+	}
+	if err := run([]string{"-loops", "5", "-workload", "nope", "table6"}); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	if err := run([]string{"-workload", filepath.Join(t.TempDir(), "absent.json"), "table6"}); err == nil {
+		t.Fatal("missing workload file must error")
+	}
+}
+
+// TestScenarioNameWinsOverFile pins the -workload resolution order: a
+// stray file in the working directory named like a registered scenario
+// must not shadow the scenario.
+func TestScenarioNameWinsOverFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "default"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	if err := run([]string{"-loops", "5", "table6"}); err != nil {
+		t.Fatalf("default run with a stray 'default' file in cwd: %v", err)
+	}
+}
+
+func TestRunWorkloadSubcommand(t *testing.T) {
+	if err := run([]string{"workload", "list"}); err != nil {
+		t.Fatalf("workload list: %v", err)
+	}
+	if err := run([]string{"workload", "show", "-name", "strided", "-loops", "6"}); err != nil {
+		t.Fatalf("workload show: %v", err)
+	}
+	if err := run([]string{"workload"}); err == nil {
+		t.Fatal("missing subcommand must error")
+	}
+	if err := run([]string{"workload", "frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand must error")
+	}
+	if err := run([]string{"workload", "show", "-name", "nope"}); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	if err := run([]string{"workload", "import"}); err == nil {
+		t.Fatal("import without -in must error")
+	}
+}
+
+// TestWorkloadExportImportRoundTrip pins the CLI contract CI smokes: an
+// exported workload file imports cleanly and drives an experiment run.
+func TestWorkloadExportImportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.json")
+	if err := run([]string{"workload", "export", "-name", "divheavy", "-loops", "6", "-o", path}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if err := run([]string{"workload", "import", "-in", path}); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if err := run([]string{"-workload", path, "table6"}); err != nil {
+		t.Fatalf("experiment over imported workload: %v", err)
+	}
+	// A corrupted file must be rejected by the strict decoder.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(strings.Replace(string(data), `"kind": "load"`, `"kind": "vfma"`, 1))
+	if string(bad) == string(data) {
+		t.Fatal("corruption did not apply")
+	}
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"workload", "import", "-in", path}); err == nil {
+		t.Fatal("corrupted workload must fail import")
+	}
+}
+
+func TestRunExportWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-loops", "5", "-out", dir, "-format", "json", "table1"}); err != nil {
+		t.Fatalf("export run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	for _, want := range []string{`"workload": "default"`, `"loops": 5`, `"table1"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("manifest missing %s:\n%s", want, data)
+		}
 	}
 }
 

@@ -9,16 +9,17 @@
 package benchsuite
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"repro/internal/ddg"
 	"repro/internal/experiments"
 	"repro/internal/lifetimes"
-	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
+	"repro/internal/workload"
 )
 
 // Bench is one named micro-benchmark.
@@ -44,15 +45,48 @@ func All() []Bench {
 // one core.
 const BenchLoops = 100
 
+// suiteName selects the workload scenario the benchmarks run over. The
+// trajectory files (BENCH_PR*.json) are recorded on the default
+// scenario; `widening bench -workload` swaps it to gauge how a scenario
+// shifts the hot paths.
+var suiteName = workload.Default
+
+// pinned is set the first time any benchmark body consumes suiteName, so
+// a late SetWorkload cannot produce one run whose rows mix scenarios.
+var pinned bool
+
+// SetWorkload selects the scenario for all subsequent benchmark bodies.
+// It must be called before any benchmark body runs (the shared context
+// and the per-bench workbenches pin the scenario on first use).
+func SetWorkload(name string) error {
+	found := false
+	for _, n := range workload.Names() {
+		if n == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("benchsuite: unknown workload %q (have %v)", name, workload.Names())
+	}
+	if pinned && suiteName != name {
+		return fmt.Errorf("benchsuite: workload already pinned to %q by an earlier benchmark run", suiteName)
+	}
+	suiteName = name
+	return nil
+}
+
+// Workload returns the scenario the benchmarks are running over.
+func Workload() string { return suiteName }
+
 func workbench(b *testing.B, loops int) []*ddg.Loop {
 	b.Helper()
-	p := loopgen.Defaults()
-	p.Loops = loops
-	suite, err := loopgen.Workbench(p)
+	pinned = true
+	w, err := workload.Build(suiteName, loops, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return suite
+	return w.Loops
 }
 
 // Scheduler measures raw modulo-scheduling throughput over the workbench
@@ -123,11 +157,15 @@ var (
 )
 
 // Context returns the process-wide experiments context over the
-// BenchLoops workbench, built once and shared by every artifact
-// benchmark (bench_test.go's table/figure benchmarks included), so a
-// full bench run pays for workbench synthesis exactly once.
+// BenchLoops workbench of the selected scenario, built once and shared
+// by every artifact benchmark (bench_test.go's table/figure benchmarks
+// included), so a full bench run pays for workbench synthesis exactly
+// once.
 func Context() (*experiments.Context, error) {
-	ctxOnce.Do(func() { ctx, ctxErr = experiments.NewContext(BenchLoops, 0) })
+	ctxOnce.Do(func() {
+		pinned = true
+		ctx, ctxErr = experiments.NewContextFor(suiteName, BenchLoops, 0)
+	})
 	return ctx, ctxErr
 }
 

@@ -36,6 +36,7 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/widen"
+	"repro/internal/workload"
 )
 
 // Re-exported types: the facade's vocabulary.
@@ -57,7 +58,46 @@ type (
 	// Cell is one design-space cell (configuration, registers,
 	// partitions) for the batch evaluators.
 	Cell = sweep.Cell
+	// Workload is a named, serializable loop suite (see the workload
+	// registry: Workloads, BuildWorkload, LoadWorkload).
+	Workload = workload.Workload
+	// WorkloadInfo describes a registered workload scenario.
+	WorkloadInfo = workload.Info
+	// SuiteStats aggregates a workload's shape (compactability,
+	// recurrences, operation mix).
+	SuiteStats = loopgen.SuiteStats
 )
+
+// DefaultWorkload is the name of the calibrated default scenario.
+const DefaultWorkload = workload.Default
+
+// Workloads describes the registered workload scenarios.
+func Workloads() []WorkloadInfo { return workload.Infos() }
+
+// WorkloadNames lists the registered scenario names.
+func WorkloadNames() []string { return workload.Names() }
+
+// BuildWorkload constructs a registered scenario; loops and seed override
+// the scenario defaults when non-zero (fixed libraries ignore both).
+func BuildWorkload(name string, loops int, seed int64) (*Workload, error) {
+	return workload.Build(name, loops, seed)
+}
+
+// LoadWorkload reads and validates a workload file (see SaveWorkload).
+func LoadWorkload(path string) (*Workload, error) { return workload.Load(path) }
+
+// SaveWorkload writes a workload to the serializable JSON file format
+// built on the ddg loop IR (EncodeLoop/DecodeLoop).
+func SaveWorkload(w *Workload, path string) error { return workload.Save(w, path) }
+
+// WorkloadStats aggregates the suite statistics of a workload.
+func WorkloadStats(w *Workload) SuiteStats { return w.Stats() }
+
+// EncodeLoop serializes one loop to the stable JSON IR.
+func EncodeLoop(l *Loop) ([]byte, error) { return ddg.EncodeJSON(l) }
+
+// DecodeLoop parses and strictly validates a serialized loop.
+func DecodeLoop(data []byte) (*Loop, error) { return ddg.DecodeJSON(data) }
 
 // ParseConfig parses the paper's XwY notation (e.g. "4w2").
 func ParseConfig(s string) (Config, error) { return machine.ParseConfig(s) }
@@ -197,6 +237,11 @@ func NewDesignSpace(loops []*Loop) *DesignSpace {
 	return &DesignSpace{engine: perfcost.New(loops, nil)}
 }
 
+// NewDesignSpaceWorkload builds a design-space evaluator over a workload.
+func NewDesignSpaceWorkload(w *Workload) *DesignSpace {
+	return &DesignSpace{engine: perfcost.NewFromWorkload(w, nil)}
+}
+
 // NewDesignSpaceBudget uses a custom area budget fraction (the paper uses
 // 0.20 of the die for FPUs + register file).
 func NewDesignSpaceBudget(loops []*Loop, budget float64) *DesignSpace {
@@ -259,6 +304,16 @@ func RunExperiment(id string, loops int) (ExperimentResult, error) {
 // shared workbench, returning them in the order requested.
 func RunExperiments(ids []string, loops int) ([]ExperimentResult, error) {
 	ctx, err := experiments.NewContext(loops, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.RunMany(ids)
+}
+
+// RunExperimentsOn is RunExperiments over a named workload scenario
+// instead of the default workbench.
+func RunExperimentsOn(workloadName string, ids []string, loops int) ([]ExperimentResult, error) {
+	ctx, err := experiments.NewContextFor(workloadName, loops, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -176,8 +177,68 @@ func TestRunExperimentSmoke(t *testing.T) {
 	if _, err := RunExperiment("nope", 5); err == nil {
 		t.Error("unknown experiment must error")
 	}
-	if len(ExperimentIDs()) != 13 {
+	if len(ExperimentIDs()) != 14 {
 		t.Errorf("%d experiment ids", len(ExperimentIDs()))
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) == 0 || names[0] != DefaultWorkload {
+		t.Fatalf("workload names = %v", names)
+	}
+	if len(Workloads()) != len(names) {
+		t.Errorf("%d infos for %d names", len(Workloads()), len(names))
+	}
+	w, err := BuildWorkload("kernels", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := WorkloadStats(w); s.Loops != len(w.Loops) || s.Ops == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	if err := SaveWorkload(w, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name || len(back.Loops) != len(w.Loops) {
+		t.Errorf("round trip lost loops: %s %d", back.Name, len(back.Loops))
+	}
+	ds := NewDesignSpaceWorkload(back)
+	if p := ds.Evaluate(MustConfig("2w2"), 128, 2); !p.OK {
+		t.Errorf("2w2(128:2) over kernels did not schedule: %+v", p)
+	}
+	// Loop-IR codec re-exports.
+	data, err := EncodeLoop(Kernel("daxpy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := DecodeLoop(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "daxpy" || l.NumOps() != Kernel("daxpy").NumOps() {
+		t.Errorf("decoded %s with %d ops", l.Name, l.NumOps())
+	}
+	if _, err := DecodeLoop([]byte(`{"name":"x","trips":1,"ops":[{"kind":"vfma"}]}`)); err == nil {
+		t.Error("invalid kind must not decode")
+	}
+}
+
+func TestRunExperimentsOn(t *testing.T) {
+	res, err := RunExperimentsOn("kernels", []string{"table6"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID() != "table6" {
+		t.Fatalf("results = %v", res)
+	}
+	if _, err := RunExperimentsOn("nope", []string{"table6"}, 0); err == nil {
+		t.Error("unknown workload must error")
 	}
 }
 

@@ -1,0 +1,164 @@
+package ddg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Loop IR serialization: a stable JSON encoding of the dependence graph,
+// the interchange format of the workload layer (saved workload files,
+// `widening workload export/import`, the kernel-library golden). The
+// shape is deliberately minimal and versionless:
+//
+//	{
+//	  "name": "daxpy",
+//	  "trips": 1000,
+//	  "ops":   [{"kind": "load", "stride": 1, "name": "x[i]"}, ...],
+//	  "edges": [{"from": 0, "to": 2}, {"from": 3, "to": 3, "dist": 1}]
+//	}
+//
+// Operation IDs are implicit: an op's ID is its index in "ops", so a
+// decoded loop always has dense IDs. Kinds are the names of
+// machine.OpKind.String. "lanes" may be omitted for ordinary (width-1)
+// operations. Decoding is strict — unknown fields, unknown kinds,
+// dangling edge endpoints, negative distances and every other Validate
+// invariant are rejected at decode time with a descriptive error, so a
+// malformed file can never reach the scheduler.
+
+// opJSON mirrors Op without the implicit ID.
+type opJSON struct {
+	Kind   string `json:"kind"`
+	Stride int    `json:"stride,omitempty"`
+	Scalar bool   `json:"scalar,omitempty"`
+	Wide   bool   `json:"wide,omitempty"`
+	Spill  bool   `json:"spill,omitempty"`
+	Lanes  int    `json:"lanes,omitempty"`
+	Name   string `json:"name,omitempty"`
+}
+
+// edgeJSON mirrors Edge.
+type edgeJSON struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Dist int `json:"dist,omitempty"`
+}
+
+// loopJSON is the on-disk shape of a Loop.
+type loopJSON struct {
+	Name  string     `json:"name"`
+	Trips int64      `json:"trips"`
+	Ops   []opJSON   `json:"ops"`
+	Edges []edgeJSON `json:"edges,omitempty"`
+}
+
+// MarshalJSON encodes the loop in the stable IR shape.
+func (l *Loop) MarshalJSON() ([]byte, error) {
+	out := loopJSON{Name: l.Name, Trips: l.Trips}
+	out.Ops = make([]opJSON, len(l.Ops))
+	for i, op := range l.Ops {
+		if op.ID != i {
+			return nil, fmt.Errorf("ddg: encode loop %q: op at index %d has ID %d", l.Name, i, op.ID)
+		}
+		o := opJSON{
+			Kind:   op.Kind.String(),
+			Stride: op.Stride,
+			Scalar: op.Scalar,
+			Wide:   op.Wide,
+			Spill:  op.Spill,
+			Name:   op.Name,
+		}
+		if !op.Kind.Valid() {
+			return nil, fmt.Errorf("ddg: encode loop %q: op %d has invalid kind %d", l.Name, i, int(op.Kind))
+		}
+		if op.Lanes != 1 {
+			o.Lanes = op.Lanes
+		}
+		out.Ops[i] = o
+	}
+	if len(l.Edges) > 0 {
+		out.Edges = make([]edgeJSON, len(l.Edges))
+		for i, e := range l.Edges {
+			out.Edges[i] = edgeJSON{From: e.From, To: e.To, Dist: e.Dist}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the stable IR shape with strict validation: the
+// decoded loop satisfies Validate, so it is safe to hand to the widening
+// transformation and the scheduler.
+func (l *Loop) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var in loopJSON
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("ddg: decode loop: %w", err)
+	}
+	if in.Name == "" {
+		return fmt.Errorf("ddg: decode loop: missing name")
+	}
+	if len(in.Ops) == 0 {
+		return fmt.Errorf("ddg: decode loop %q: no operations", in.Name)
+	}
+	out := Loop{Name: in.Name, Trips: in.Trips}
+	if out.Trips > MaxTripWeight {
+		return fmt.Errorf("ddg: decode loop %q: trips %d exceeds the weighting bound %d",
+			in.Name, out.Trips, int64(MaxTripWeight))
+	}
+	out.Ops = make([]Op, len(in.Ops))
+	for i, o := range in.Ops {
+		kind, err := machine.ParseOpKind(o.Kind)
+		if err != nil {
+			return fmt.Errorf("ddg: decode loop %q: op %d: %w", in.Name, i, err)
+		}
+		lanes := o.Lanes
+		if lanes == 0 {
+			lanes = 1 // "lanes" omitted: an ordinary width-1 operation
+		}
+		out.Ops[i] = Op{
+			ID:     i,
+			Kind:   kind,
+			Stride: o.Stride,
+			Scalar: o.Scalar,
+			Wide:   o.Wide,
+			Spill:  o.Spill,
+			Lanes:  lanes,
+			Name:   o.Name,
+		}
+	}
+	if len(in.Edges) > 0 {
+		out.Edges = make([]Edge, len(in.Edges))
+		for i, e := range in.Edges {
+			out.Edges[i] = Edge{From: e.From, To: e.To, Dist: e.Dist}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	// Replace the receiver wholesale: any cached analysis belongs to the
+	// graph the loop held before.
+	l.Name, l.Trips, l.Ops, l.Edges = out.Name, out.Trips, out.Ops, out.Edges
+	l.analysis.Store(nil)
+	return nil
+}
+
+// EncodeJSON serializes the loop to its stable IR form.
+func EncodeJSON(l *Loop) ([]byte, error) {
+	if l == nil {
+		return nil, fmt.Errorf("ddg: encode nil loop")
+	}
+	return json.Marshal(l)
+}
+
+// DecodeJSON parses and validates a serialized loop. The error pinpoints
+// the first violated invariant; decode(encode(l)) reproduces l exactly.
+func DecodeJSON(data []byte) (*Loop, error) {
+	l := new(Loop)
+	if err := json.Unmarshal(data, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

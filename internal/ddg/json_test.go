@@ -1,0 +1,173 @@
+package ddg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// testLoop builds a small loop exercising every serialized field: strides,
+// scalar marks, a recurrence, a cross-iteration edge, names.
+func testLoop() *Loop {
+	b := NewBuilder("codec", 321)
+	x := b.Load(1, "x[i]")
+	y := b.Load(2, "y[2i]")
+	m := b.Op(machine.Mul, "x*y")
+	a := b.Op(machine.Add, "acc")
+	s := b.Op(machine.Add, "")
+	b.Scalar(s)
+	st := b.Store(0, "out")
+	b.Flow(x, m, 0)
+	b.Flow(y, m, 0)
+	b.Flow(m, a, 0)
+	b.Flow(a, a, 1)
+	b.Flow(m, s, 2)
+	b.Flow(s, st, 0)
+	return b.Build()
+}
+
+// wideLoop builds a loop containing wide and spill operations, the shapes
+// the widening transformation and the spill pass produce.
+func wideLoop() *Loop {
+	l := &Loop{
+		Name:  "wide",
+		Trips: 64,
+		Ops: []Op{
+			{ID: 0, Kind: machine.Load, Stride: 1, Wide: true, Lanes: 4, Name: "vx"},
+			{ID: 1, Kind: machine.Mul, Wide: true, Lanes: 4},
+			{ID: 2, Kind: machine.Store, Stride: 1, Spill: true, Lanes: 1},
+		},
+		Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}},
+	}
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func sameLoop(t *testing.T, got, want *Loop) {
+	t.Helper()
+	if got.Name != want.Name || got.Trips != want.Trips {
+		t.Fatalf("header differs: %s/%d vs %s/%d", got.Name, got.Trips, want.Name, want.Trips)
+	}
+	if !reflect.DeepEqual(got.Ops, want.Ops) {
+		t.Fatalf("ops differ:\n got %+v\nwant %+v", got.Ops, want.Ops)
+	}
+	if !reflect.DeepEqual(append([]Edge{}, got.Edges...), append([]Edge{}, want.Edges...)) {
+		t.Fatalf("edges differ:\n got %+v\nwant %+v", got.Edges, want.Edges)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, l := range []*Loop{testLoop(), wideLoop()} {
+		data, err := EncodeJSON(l)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", l.Name, err)
+		}
+		back, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v\n%s", l.Name, err, data)
+		}
+		sameLoop(t, back, l)
+		// A decoded loop is immediately analyzable.
+		if back.MII(machine.FourCycle, 1, 2) < 1 {
+			t.Errorf("%s: decoded loop has MII < 1", l.Name)
+		}
+		// Encoding is deterministic.
+		again, err := EncodeJSON(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(data) {
+			t.Errorf("%s: re-encode differs:\n%s\n%s", l.Name, data, again)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := EncodeJSON(nil); err == nil {
+		t.Error("nil loop must not encode")
+	}
+	l := testLoop()
+	l.Ops[1].ID = 7 // non-dense IDs cannot be represented implicitly
+	if _, err := EncodeJSON(l); err == nil {
+		t.Error("non-dense op IDs must not encode")
+	}
+	l = testLoop()
+	l.Ops[0].Kind = machine.OpKind(99)
+	if _, err := EncodeJSON(l); err == nil {
+		t.Error("invalid op kind must not encode")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"garbage", `{{`, "invalid character"},
+		{"unknown field", `{"name":"l","trips":1,"ops":[{"kind":"add"}],"bogus":1}`, "bogus"},
+		{"unknown op field", `{"name":"l","trips":1,"ops":[{"kind":"add","latency":4}]}`, "latency"},
+		{"missing name", `{"trips":1,"ops":[{"kind":"add"}]}`, "missing name"},
+		{"no ops", `{"name":"l","trips":1,"ops":[]}`, "no operations"},
+		{"bad kind", `{"name":"l","trips":1,"ops":[{"kind":"fma"}]}`, `unknown operation kind "fma"`},
+		{"zero trips", `{"name":"l","ops":[{"kind":"add"}]}`, "trips"},
+		{"negative trips", `{"name":"l","trips":-5,"ops":[{"kind":"add"}]}`, "trips"},
+		{"huge trips", `{"name":"l","trips":9223372036854775807,"ops":[{"kind":"add"}]}`, "weighting bound"},
+		{"dangling edge to", `{"name":"l","trips":1,"ops":[{"kind":"add"}],"edges":[{"from":0,"to":3}]}`, "out of range"},
+		{"dangling edge from", `{"name":"l","trips":1,"ops":[{"kind":"add"}],"edges":[{"from":-1,"to":0}]}`, "out of range"},
+		{"negative distance", `{"name":"l","trips":1,"ops":[{"kind":"add"},{"kind":"add"}],"edges":[{"from":0,"to":1,"dist":-1}]}`, "negative distance"},
+		{"zero-dist self edge", `{"name":"l","trips":1,"ops":[{"kind":"add"}],"edges":[{"from":0,"to":0}]}`, "depends on itself"},
+		{"zero-dist cycle", `{"name":"l","trips":1,"ops":[{"kind":"add"},{"kind":"add"}],"edges":[{"from":0,"to":1},{"from":1,"to":0}]}`, "cycle"},
+		{"negative lanes", `{"name":"l","trips":1,"ops":[{"kind":"add","lanes":-2}]}`, "lanes"},
+		{"lanes on narrow op", `{"name":"l","trips":1,"ops":[{"kind":"add","lanes":3}]}`, "lanes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeJSON([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeDefaultsLanes pins the hand-written-file convenience: an
+// omitted "lanes" field means an ordinary width-1 operation.
+func TestDecodeDefaultsLanes(t *testing.T) {
+	l, err := DecodeJSON([]byte(`{"name":"l","trips":2,"ops":[{"kind":"load","stride":1},{"kind":"add"}],"edges":[{"from":0,"to":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range l.Ops {
+		if op.Lanes != 1 {
+			t.Errorf("op %d lanes = %d, want 1", op.ID, op.Lanes)
+		}
+	}
+}
+
+// TestUnmarshalResetsAnalysis pins that decoding into a previously
+// analyzed loop drops the stale analysis snapshot.
+func TestUnmarshalResetsAnalysis(t *testing.T) {
+	l := testLoop()
+	if l.MII(machine.FourCycle, 1, 2) < 1 {
+		t.Fatal("analysis failed")
+	}
+	data, err := EncodeJSON(wideLoop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "wide" || l.NumOps() != 3 {
+		t.Fatalf("loop not replaced: %s with %d ops", l.Name, l.NumOps())
+	}
+	if got := l.ResMII(machine.FourCycle, 1, 2); got < 1 {
+		t.Errorf("ResMII = %d after re-decode", got)
+	}
+}

@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/loopgen"
 	"repro/internal/perfcost"
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 // Result is a regenerated paper artifact. Every result also implements
@@ -41,30 +41,44 @@ var _ = []interface {
 	(*Table4Result)(nil), (*Table5Result)(nil), (*Table6Result)(nil),
 	(*Fig2Result)(nil), (*Fig3Result)(nil), (*Fig4Result)(nil),
 	(*Fig6Result)(nil), (*Fig7Result)(nil), (*Fig8Result)(nil),
-	(*Fig9Result)(nil),
+	(*Fig9Result)(nil), (*WorkloadsResult)(nil),
 }
 
-// Context carries the workbench-backed engine the drivers share.
+// Context carries the workload-backed engine the drivers share.
 type Context struct {
 	Engine *perfcost.Engine
+	// Workload is the scenario the engine evaluates.
+	Workload *workload.Workload
+	// loops and seed record the size/seed overrides the context was built
+	// with, so cross-workload drivers (the `workloads` experiment) can
+	// build the other scenarios at a comparable scale.
+	loops int
+	seed  int64
 }
 
-// NewContext builds a context over a fresh workbench. loops == 0 uses the
-// paper's 1180; a smaller count trades fidelity for speed (benchmarks use
-// it).
+// NewContext builds a context over a fresh default workbench. loops == 0
+// uses the paper's 1180; a smaller count trades fidelity for speed
+// (benchmarks use it).
 func NewContext(loops int, seed int64) (*Context, error) {
-	p := loopgen.Defaults()
-	if loops > 0 {
-		p.Loops = loops
-	}
-	if seed != 0 {
-		p.Seed = seed
-	}
-	suite, err := loopgen.Workbench(p)
+	return NewContextFor(workload.Default, loops, seed)
+}
+
+// NewContextFor builds a context over any registered workload scenario,
+// with the same loops/seed override semantics as NewContext.
+func NewContextFor(name string, loops int, seed int64) (*Context, error) {
+	w, err := workload.Build(name, loops, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Context{Engine: perfcost.New(suite, nil)}, nil
+	c := NewWorkloadContext(w)
+	c.loops, c.seed = loops, seed
+	return c, nil
+}
+
+// NewWorkloadContext builds a context over an already-constructed
+// workload (typically one loaded from a file).
+func NewWorkloadContext(w *workload.Workload) *Context {
+	return &Context{Engine: perfcost.NewFromWorkload(w, nil), Workload: w}
 }
 
 // runner produces one artifact.
@@ -88,6 +102,7 @@ var registry = []runner{
 	{"fig7", "Relative code size", func(c *Context) (Result, error) { return Fig7(c.Engine.Loops()) }},
 	{"fig8", "Performance/cost trade-offs at 0.25um", func(c *Context) (Result, error) { return Fig8(c.Engine) }},
 	{"fig9", "Top five configurations per technology", func(c *Context) (Result, error) { return Fig9(c.Engine) }},
+	{"workloads", "Cross-workload sensitivity of the headline design points", func(c *Context) (Result, error) { return Workloads(c) }},
 }
 
 // IDs lists the experiment identifiers in run order.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/workload"
 )
 
 var (
@@ -83,6 +84,87 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestWorkloadsExperiment drives the cross-workload sensitivity table in
+// every tier over its own small context: each registered scenario must
+// evaluate end-to-end, and the paper's combine-both headline (4w2 over
+// pure replication's 8w1) must hold on the default scenario.
+func TestWorkloadsExperiment(t *testing.T) {
+	c, err := NewContext(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Workloads(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := workload.Names()
+	if len(res.Rows) != len(names) {
+		t.Fatalf("%d rows, want one per scenario (%d)", len(res.Rows), len(names))
+	}
+	for i, name := range names {
+		row := res.Rows[i]
+		if row.Name != name {
+			t.Errorf("row %d is %q, want registry order %q", i, row.Name, name)
+		}
+		if row.Loops < 1 || row.Ops < 1 {
+			t.Errorf("%s: empty suite (%d loops, %d ops)", name, row.Loops, row.Ops)
+		}
+		if len(row.Cells) != len(HeadlineLabels()) {
+			t.Fatalf("%s: %d cells", name, len(row.Cells))
+		}
+		ok := 0
+		for _, cell := range row.Cells {
+			if cell.OK {
+				ok++
+				if cell.Speedup <= 0 {
+					t.Errorf("%s %s: schedulable point with speed-up %v", name, cell.Label, cell.Speedup)
+				}
+			}
+		}
+		if ok == 0 {
+			t.Errorf("%s: no headline point schedules", name)
+		}
+	}
+	wide, okW := res.Speedup(workload.Default, "4w2(128:4)")
+	rep, okR := res.Speedup(workload.Default, "8w1(128:8)")
+	if !okW || !okR || wide <= rep {
+		t.Errorf("default: 4w2 (%.2f) must beat 8w1 (%.2f)", wide, rep)
+	}
+	out := res.Render()
+	for _, name := range names {
+		if !strings.Contains(out, name) {
+			t.Errorf("render missing scenario %s", name)
+		}
+	}
+	if tab := res.Table(); len(tab) != len(names)+1 {
+		t.Errorf("table has %d rows", len(tab))
+	}
+}
+
+// TestNewContextFor covers scenario-parametric context construction.
+func TestNewContextFor(t *testing.T) {
+	c, err := NewContextFor("kernels", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workload == nil || c.Workload.Name != "kernels" {
+		t.Fatalf("context workload = %+v", c.Workload)
+	}
+	if got := c.Engine.WorkloadName(); got != "kernels" {
+		t.Errorf("engine workload = %q", got)
+	}
+	res, err := c.Run("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Render()) == 0 {
+		t.Error("empty render over the kernels workload")
+	}
+	if _, err := NewContextFor("nope", 0, 0); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}
+
 // TestRunManyOrderAndErrors covers subset runs and error propagation.
 func TestRunManyOrderAndErrors(t *testing.T) {
 	c := testContext(t)
@@ -102,8 +184,8 @@ func TestRunManyOrderAndErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
-		t.Fatalf("%d experiments, want 13", len(ids))
+	if len(ids) != 14 {
+		t.Fatalf("%d experiments, want 14", len(ids))
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

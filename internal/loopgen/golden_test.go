@@ -1,0 +1,73 @@
+package loopgen
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the kernel-library golden file")
+
+// renderKernels renders the full hand-written kernel library: a summary
+// line per kernel (sizes, bounds, per-kind op counts) followed by its
+// exact JSON loop IR.
+func renderKernels(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("The hand-written kernel library (see kernels.go). This golden pins both\n")
+	b.WriteString("the dependence graphs and their serialized IR: the kernels calibrate the\n")
+	b.WriteString("synthetic archetypes, so an accidental edit must show up in review.\n")
+	for _, k := range Kernels() {
+		st := k.ComputeStats()
+		fmt.Fprintf(&b, "\n== %s: %d ops, %d edges, trips %d, RecMII4 %d, MII4(1w1) %d, compactable %d/%d\n",
+			k.Name, k.NumOps(), len(k.Edges), k.Trips, st.RecMII4,
+			k.MII(machine.FourCycle, 1, 2), st.Compactable, st.Ops)
+		counts := k.Counts()
+		var kinds []string
+		for _, kind := range machine.OpKinds() {
+			if counts[kind] > 0 {
+				kinds = append(kinds, fmt.Sprintf("%s:%d", kind, counts[kind]))
+			}
+		}
+		fmt.Fprintf(&b, "   mix %s\n", strings.Join(kinds, " "))
+		data, err := ddg.EncodeJSON(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestKernelsGolden pins the text/JSON rendering of the whole Kernels()
+// library byte for byte. Regenerate after a deliberate kernel change with
+//
+//	go test ./internal/loopgen -run TestKernelsGolden -update
+func TestKernelsGolden(t *testing.T) {
+	got := renderKernels(t)
+	path := filepath.Join("testdata", "kernels.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("kernel library deviates from golden; if the change is deliberate, "+
+			"regenerate with -update and re-calibrate the archetypes.\n--- got ---\n%s", got)
+	}
+}

@@ -26,6 +26,7 @@ package loopgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/ddg"
@@ -84,24 +85,54 @@ func Defaults() Params {
 	}
 }
 
-// Validate reports whether the parameters are usable.
+// Validate reports whether the parameters are usable: Workbench refuses
+// to generate from a parameter set that would silently skew the suite (a
+// negative fraction disables its archetype without an error from the
+// sampler, fractions summing past 1 starve the scalar remainder, inverted
+// bounds would panic deep inside the generator).
 func (p Params) Validate() error {
 	if p.Loops < 1 {
 		return fmt.Errorf("loopgen: Loops must be >= 1, got %d", p.Loops)
 	}
 	if p.MinOps < 2 || p.MaxOps < p.MinOps {
-		return fmt.Errorf("loopgen: bad op bounds [%d, %d]", p.MinOps, p.MaxOps)
+		return fmt.Errorf("loopgen: bad op bounds [MinOps %d, MaxOps %d]: need 2 <= MinOps <= MaxOps",
+			p.MinOps, p.MaxOps)
 	}
 	if p.MinTrips < 1 || p.MaxTrips < p.MinTrips {
-		return fmt.Errorf("loopgen: bad trip bounds [%d, %d]", p.MinTrips, p.MaxTrips)
+		return fmt.Errorf("loopgen: bad trip bounds [MinTrips %d, MaxTrips %d]: need 1 <= MinTrips <= MaxTrips",
+			p.MinTrips, p.MaxTrips)
 	}
-	sum := p.StreamFrac + p.ReduceFrac + p.RecurFrac + p.StridedFrac + p.DivFrac
-	if sum < 0 || sum > 1.0001 {
-		return fmt.Errorf("loopgen: archetype fractions sum to %v", sum)
+	if p.MaxTrips > ddg.MaxTripWeight {
+		return fmt.Errorf("loopgen: MaxTrips %d exceeds the weighting bound %d", p.MaxTrips, int64(ddg.MaxTripWeight))
 	}
-	for _, f := range []float64{p.UnitStrideProb, p.ScalarProb} {
-		if f < 0 || f > 1 {
-			return fmt.Errorf("loopgen: probability %v out of range", f)
+	fracs := []struct {
+		name string
+		f    float64
+	}{
+		{"StreamFrac", p.StreamFrac}, {"ReduceFrac", p.ReduceFrac},
+		{"RecurFrac", p.RecurFrac}, {"StridedFrac", p.StridedFrac},
+		{"DivFrac", p.DivFrac},
+	}
+	sum := 0.0
+	for _, fr := range fracs {
+		if math.IsNaN(fr.f) || fr.f < 0 || fr.f > 1 {
+			return fmt.Errorf("loopgen: %s = %v out of range [0, 1]", fr.name, fr.f)
+		}
+		sum += fr.f
+	}
+	if sum > 1.0001 {
+		return fmt.Errorf("loopgen: archetype fractions sum to %.4f > 1 (the remainder past the "+
+			"named archetypes becomes scalar-flavoured loops and cannot be negative)", sum)
+	}
+	probs := []struct {
+		name string
+		f    float64
+	}{
+		{"UnitStrideProb", p.UnitStrideProb}, {"ScalarProb", p.ScalarProb},
+	}
+	for _, pr := range probs {
+		if math.IsNaN(pr.f) || pr.f < 0 || pr.f > 1 {
+			return fmt.Errorf("loopgen: %s = %v out of range [0, 1]", pr.name, pr.f)
 		}
 	}
 	return nil

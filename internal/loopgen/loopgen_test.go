@@ -1,6 +1,7 @@
 package loopgen
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/ddg"
@@ -24,6 +25,13 @@ func TestParamsValidateRejects(t *testing.T) {
 		func(p *Params) { p.StreamFrac = 0.9; p.ReduceFrac = 0.9 },
 		func(p *Params) { p.UnitStrideProb = 1.5 },
 		func(p *Params) { p.ScalarProb = -0.1 },
+		// A negative fraction would silently disable its archetype (and can
+		// hide an over-1 sum); each fraction must be in [0, 1] on its own.
+		func(p *Params) { p.DivFrac = -0.5 },
+		func(p *Params) { p.RecurFrac = 1.2; p.StreamFrac = 0 },
+		func(p *Params) { p.StridedFrac = math.NaN() },
+		func(p *Params) { p.UnitStrideProb = math.NaN() },
+		func(p *Params) { p.MaxTrips = math.MaxInt64 },
 	}
 	for i, mutate := range cases {
 		p := Defaults()

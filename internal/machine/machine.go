@@ -62,6 +62,18 @@ func (k OpKind) String() string {
 // Valid reports whether k is one of the defined operation kinds.
 func (k OpKind) Valid() bool { return k >= 0 && int(k) < numOpKinds }
 
+// ParseOpKind parses an operation kind name as produced by OpKind.String
+// ("load", "store", "add", "mul", "div", "sqrt"). It is the inverse the
+// loop-IR decoder relies on.
+func ParseOpKind(s string) (OpKind, error) {
+	for k, name := range opKindNames {
+		if name == s {
+			return OpKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown operation kind %q", s)
+}
+
 // IsMem reports whether the operation uses a bus (memory port).
 func (k OpKind) IsMem() bool { return k == Load || k == Store }
 

@@ -31,13 +31,13 @@ import (
 
 	"repro/internal/area"
 	"repro/internal/ddg"
-	"repro/internal/loopgen"
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/spill"
 	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/widen"
+	"repro/internal/workload"
 )
 
 // Engine evaluates configurations over a fixed workbench. All entry points
@@ -45,10 +45,13 @@ import (
 // from many goroutines, and the singleflight caches guarantee each unique
 // (config, registers, cycle model) cell is scheduled exactly once.
 type Engine struct {
-	loops  []*ddg.Loop
-	timing timing.Model
-	budget float64
-	spill  *spill.Options
+	loops []*ddg.Loop
+	// workload names the scenario the loops came from ("" for engines
+	// built from a bare loop slice).
+	workload string
+	timing   timing.Model
+	budget   float64
+	spill    *spill.Options
 	// workers bounds scheduling parallelism (defaults to GOMAXPROCS).
 	workers int
 	// sem bounds loop-level scheduling work engine-wide, so concurrent
@@ -132,17 +135,30 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// NewFromWorkload builds an engine over a workload's loop suite; the
+// engine remembers the scenario name for reports. Caches key on the
+// engine, so two engines over different workloads never mix schedules.
+func NewFromWorkload(w *workload.Workload, opts *Options) *Engine {
+	e := New(w.Loops, opts)
+	e.workload = w.Name
+	return e
+}
+
 // NewDefault builds an engine over the calibrated default workbench.
 func NewDefault() (*Engine, error) {
-	loops, err := loopgen.Workbench(loopgen.Defaults())
+	w, err := workload.Get(workload.Default)
 	if err != nil {
 		return nil, err
 	}
-	return New(loops, nil), nil
+	return NewFromWorkload(w, nil), nil
 }
 
 // Loops returns the engine's workbench.
 func (e *Engine) Loops() []*ddg.Loop { return e.loops }
+
+// WorkloadName returns the scenario the engine's workbench came from, or
+// "" for engines built from a bare loop slice.
+func (e *Engine) WorkloadName() string { return e.workload }
 
 // Budget returns the area budget fraction.
 func (e *Engine) Budget() float64 { return e.budget }

@@ -129,6 +129,31 @@ func Export(dir string, formats []string, artifacts []Artifact) ([]string, error
 	return paths, nil
 }
 
+// Manifest records the provenance of one export batch: which workload
+// scenario the artifacts were regenerated over, at what size and seed,
+// and what was written. Exported next to the artifacts as
+// manifest.json, it makes an artifact directory self-describing.
+type Manifest struct {
+	// Workload names the scenario (or workload file) the artifacts were
+	// regenerated over.
+	Workload string `json:"workload,omitempty"`
+	// Loops and Seed are the workbench overrides in force (0 = defaults).
+	Loops int   `json:"loops,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+	// Formats and Artifacts list what was exported.
+	Formats   []string `json:"formats"`
+	Artifacts []string `json:"artifacts"`
+}
+
+// WriteManifest writes dir/manifest.json and returns the path.
+func WriteManifest(dir string, m Manifest) (string, error) {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("sweep: marshal manifest: %w", err)
+	}
+	return writeArtifact(dir, "manifest.json", append(buf, '\n'))
+}
+
 func writeArtifact(dir, name string, data []byte) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err

@@ -85,6 +85,34 @@ func TestExportFormats(t *testing.T) {
 	}
 }
 
+func TestWriteManifest(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteManifest(dir, Manifest{
+		Workload:  "divheavy",
+		Loops:     40,
+		Seed:      7,
+		Formats:   []string{"json"},
+		Artifacts: []string{"table5", "fig8"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "manifest.json" {
+		t.Errorf("manifest at %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Workload != "divheavy" || m.Loops != 40 || m.Seed != 7 || len(m.Artifacts) != 2 {
+		t.Errorf("round-tripped manifest = %+v", m)
+	}
+}
+
 func TestParseFormats(t *testing.T) {
 	got, err := ParseFormats(" json, csv ,")
 	if err != nil {

@@ -1,0 +1,246 @@
+// Package workload makes the evaluation's loop suite a first-class,
+// serializable, swappable object. The paper's entire evaluation is
+// parametric in the workload — 1180 Perfect Club loops whose aggregate
+// properties (compactability, recurrences, lifetimes) drive every figure
+// — so the reproduction keeps a named registry of scenarios instead of
+// hard-wiring the one calibrated default:
+//
+//   - "default" is the calibrated synthetic workbench every paper
+//     artifact regenerates over (loopgen.Defaults);
+//   - "kernels" is the hand-written classic kernel library;
+//   - the stress scenarios (divheavy, recurrence, strided, scalar,
+//     bigbody) skew one aggregate property at a time, exposing how the
+//     paper's conclusions move with workload shape (the `workloads`
+//     experiment renders the cross-scenario sensitivity table).
+//
+// Every scenario is deterministic: a fixed seed per scenario, overridable
+// per build. Workloads round-trip through a JSON file format (Save/Load,
+// `widening workload export/import`) built on the ddg loop-IR codec, so
+// user-supplied loop files become workloads too.
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/ddg"
+	"repro/internal/loopgen"
+)
+
+// Workload is a named loop suite with provenance.
+type Workload struct {
+	// Name identifies the scenario (registry name, or the name stored in
+	// a loaded workload file).
+	Name string
+	// Description is a one-line account of what the scenario stresses.
+	Description string
+	// Loops is the suite itself.
+	Loops []*ddg.Loop
+}
+
+// Stats aggregates the suite's workload statistics.
+func (w *Workload) Stats() loopgen.SuiteStats { return loopgen.Stats(w.Loops) }
+
+// Default is the name of the calibrated default scenario.
+const Default = "default"
+
+// Info describes a registered scenario for listings.
+type Info struct {
+	Name        string
+	Description string
+	// Loops is the scenario's default suite size (the size Build uses
+	// when no override is given).
+	Loops int
+	// Fixed marks a hand-written library whose size and content ignore
+	// the loops/seed overrides.
+	Fixed bool
+}
+
+// scenario is one registry entry.
+type scenario struct {
+	info  Info
+	build func(loops int, seed int64) ([]*ddg.Loop, error)
+}
+
+// generated registers a synthetic scenario: loopgen.Defaults shaped by
+// mod, with the build-time loops/seed overrides applied on top.
+func generated(name, desc string, mod func(*loopgen.Params)) scenario {
+	base := loopgen.Defaults()
+	if mod != nil {
+		mod(&base)
+	}
+	return scenario{
+		info: Info{Name: name, Description: desc, Loops: base.Loops},
+		build: func(loops int, seed int64) ([]*ddg.Loop, error) {
+			p := base
+			if loops > 0 {
+				p.Loops = loops
+			}
+			if seed != 0 {
+				p.Seed = seed
+			}
+			return loopgen.Workbench(p)
+		},
+	}
+}
+
+// registry lists the scenarios in presentation order. Seeds are distinct
+// per scenario so "same loop count, different scenario" never aliases.
+var registry = []scenario{
+	generated(Default,
+		"calibrated synthetic stand-in for the paper's 1180 Perfect Club loops",
+		nil),
+	{
+		info: Info{
+			Name:        "kernels",
+			Description: "hand-written classic kernel library grounding the archetypes",
+			Loops:       len(loopgen.Kernels()),
+			Fixed:       true,
+		},
+		build: func(int, int64) ([]*ddg.Loop, error) { return loopgen.Kernels(), nil },
+	},
+	generated("divheavy",
+		"division/sqrt-bound bodies: the non-pipelined unit floors the II",
+		func(p *loopgen.Params) {
+			p.Seed = 2101
+			p.StreamFrac, p.ReduceFrac, p.RecurFrac, p.StridedFrac, p.DivFrac =
+				0.30, 0.10, 0.05, 0.10, 0.35
+		}),
+	generated("recurrence",
+		"recurrence-bound loops: RecMII caps what any resource adds",
+		func(p *loopgen.Params) {
+			p.Seed = 2102
+			p.StreamFrac, p.ReduceFrac, p.RecurFrac, p.StridedFrac, p.DivFrac =
+				0.20, 0.30, 0.40, 0.03, 0.02
+		}),
+	generated("strided",
+		"non-unit and indirect strides defeat compaction, starving widening",
+		func(p *loopgen.Params) {
+			p.Seed = 2103
+			p.StreamFrac, p.ReduceFrac, p.RecurFrac, p.StridedFrac, p.DivFrac =
+				0.25, 0.07, 0.05, 0.55, 0.03
+			p.UnitStrideProb = 0.45
+		}),
+	generated("scalar",
+		"scalar-flavoured bodies widening cannot compact (replication-friendly)",
+		func(p *loopgen.Params) {
+			p.Seed = 2104
+			p.StreamFrac, p.ReduceFrac, p.RecurFrac, p.StridedFrac, p.DivFrac =
+				0.20, 0.05, 0.05, 0.05, 0.05
+			p.ScalarProb = 0.40
+		}),
+	generated("bigbody",
+		"large unrolled bodies stressing the scheduler and register pressure",
+		func(p *loopgen.Params) {
+			p.Seed = 2105
+			p.Loops = 295 // bodies are ~4x larger; keep the suite's total work comparable
+			p.MinOps, p.MaxOps = 48, 160
+		}),
+}
+
+// Names lists the registered scenarios in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.info.Name
+	}
+	return out
+}
+
+// Infos describes the registered scenarios in presentation order.
+func Infos() []Info {
+	out := make([]Info, len(registry))
+	for i, s := range registry {
+		out[i] = s.info
+	}
+	return out
+}
+
+// Build constructs a registered scenario. loops and seed override the
+// scenario's default suite size and seed when non-zero; fixed libraries
+// (kernels) ignore both.
+func Build(name string, loops int, seed int64) (*Workload, error) {
+	for _, s := range registry {
+		if s.info.Name != name {
+			continue
+		}
+		suite, err := s.build(loops, seed)
+		if err != nil {
+			return nil, fmt.Errorf("workload: build %s: %w", name, err)
+		}
+		return &Workload{Name: name, Description: s.info.Description, Loops: suite}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+}
+
+// Get constructs a registered scenario at its default size and seed.
+func Get(name string) (*Workload, error) { return Build(name, 0, 0) }
+
+// fileJSON is the workload file format: a named, described suite of
+// serialized loops (the ddg loop IR).
+type fileJSON struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Loops       []*ddg.Loop `json:"loops"`
+}
+
+// Encode serializes the workload to its file format.
+func Encode(w *Workload) ([]byte, error) {
+	if w == nil {
+		return nil, fmt.Errorf("workload: encode nil workload")
+	}
+	if w.Name == "" {
+		return nil, fmt.Errorf("workload: encode: missing name")
+	}
+	if len(w.Loops) == 0 {
+		return nil, fmt.Errorf("workload: encode %s: no loops", w.Name)
+	}
+	buf, err := json.MarshalIndent(fileJSON{Name: w.Name, Description: w.Description, Loops: w.Loops}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workload: encode %s: %w", w.Name, err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// Decode parses and validates a workload file: every loop passes the
+// loop-IR decoder's strict validation, so a decoded workload is safe to
+// hand straight to the engine.
+func Decode(data []byte) (*Workload, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var in fileJSON
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	if in.Name == "" {
+		return nil, fmt.Errorf("workload: decode: missing name")
+	}
+	if len(in.Loops) == 0 {
+		return nil, fmt.Errorf("workload: decode %s: no loops", in.Name)
+	}
+	return &Workload{Name: in.Name, Description: in.Description, Loops: in.Loops}, nil
+}
+
+// Save writes the workload file.
+func Save(w *Workload, path string) error {
+	buf, err := Encode(w)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Load reads and validates a workload file.
+func Load(path string) (*Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	w, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("workload: load %s: %w", path, err)
+	}
+	return w, nil
+}

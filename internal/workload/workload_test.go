@@ -1,0 +1,245 @@
+package workload_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/perfcost"
+	"repro/internal/workload"
+)
+
+func TestRegistryShape(t *testing.T) {
+	names := workload.Names()
+	if len(names) < 7 {
+		t.Fatalf("only %d scenarios registered", len(names))
+	}
+	if names[0] != workload.Default {
+		t.Errorf("first scenario is %q, want %q", names[0], workload.Default)
+	}
+	seen := map[string]bool{}
+	for _, info := range workload.Infos() {
+		if seen[info.Name] {
+			t.Errorf("duplicate scenario %q", info.Name)
+		}
+		seen[info.Name] = true
+		if info.Description == "" {
+			t.Errorf("scenario %q has no description", info.Name)
+		}
+		if info.Loops < 1 {
+			t.Errorf("scenario %q advertises %d loops", info.Name, info.Loops)
+		}
+	}
+	for _, want := range []string{"kernels", "divheavy", "recurrence", "strided", "scalar", "bigbody"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from registry", want)
+		}
+	}
+	if _, err := workload.Build("nope", 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("unknown scenario error = %v", err)
+	}
+}
+
+// TestDefaultMatchesLoopgen pins the refactor's central invariant: the
+// "default" workload built through the registry is the exact workbench
+// loopgen.Workbench(loopgen.Defaults()) used to produce, overrides
+// included — the golden renders depend on it.
+func TestDefaultMatchesLoopgen(t *testing.T) {
+	p := loopgen.Defaults()
+	p.Loops, p.Seed = 40, 7
+	want, err := loopgen.Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Build(workload.Default, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Loops) != len(want) {
+		t.Fatalf("%d loops, want %d", len(w.Loops), len(want))
+	}
+	for i := range want {
+		g, e := w.Loops[i], want[i]
+		if g.Name != e.Name || g.Trips != e.Trips || g.NumOps() != e.NumOps() || len(g.Edges) != len(e.Edges) {
+			t.Fatalf("loop %d differs: %s vs %s", i, g.Name, e.Name)
+		}
+	}
+}
+
+func TestScenariosDeterministicAndDistinct(t *testing.T) {
+	shape := func(name string) string {
+		w, err := workload.Build(name, 30, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, l := range w.Loops {
+			b.WriteString(l.Name)
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	for _, name := range workload.Names() {
+		if shape(name) != shape(name) {
+			t.Errorf("scenario %q is not deterministic", name)
+		}
+	}
+	if shape("divheavy") == shape("strided") {
+		t.Error("distinct scenarios generated identical suites")
+	}
+}
+
+func TestKernelsWorkloadFixed(t *testing.T) {
+	w, err := workload.Build("kernels", 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Loops) != len(loopgen.Kernels()) {
+		t.Errorf("kernels workload has %d loops, want the library's %d",
+			len(w.Loops), len(loopgen.Kernels()))
+	}
+}
+
+// TestScenariosSkewAsAdvertised pins that each stress scenario moves the
+// aggregate property it claims to move, relative to the default.
+func TestScenariosSkewAsAdvertised(t *testing.T) {
+	stats := func(name string) loopgen.SuiteStats {
+		w, err := workload.Build(name, 120, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats()
+	}
+	base := stats(workload.Default)
+	if s := stats("strided"); s.CompactableFrac >= base.CompactableFrac {
+		t.Errorf("strided compactable %.2f not below default %.2f",
+			s.CompactableFrac, base.CompactableFrac)
+	}
+	if s := stats("scalar"); s.CompactableFrac >= base.CompactableFrac {
+		t.Errorf("scalar compactable %.2f not below default %.2f",
+			s.CompactableFrac, base.CompactableFrac)
+	}
+	if s := stats("recurrence"); s.RecurrentFrac <= base.RecurrentFrac {
+		t.Errorf("recurrence recurrent %.2f not above default %.2f",
+			s.RecurrentFrac, base.RecurrentFrac)
+	}
+	if s := stats("bigbody"); s.Ops/s.Loops <= 2*base.Ops/base.Loops {
+		t.Errorf("bigbody mean body %d ops not well above default %d",
+			s.Ops/s.Loops, base.Ops/base.Loops)
+	}
+}
+
+// TestEveryWorkloadEvaluates drives each registered scenario end-to-end
+// through the engine: baseline plus one widened design point.
+func TestEveryWorkloadEvaluates(t *testing.T) {
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.Build(name, 8, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := perfcost.NewFromWorkload(w, nil)
+			if e.WorkloadName() != name {
+				t.Errorf("engine workload = %q, want %q", e.WorkloadName(), name)
+			}
+			base := e.Baseline()
+			if base.Time <= 0 {
+				t.Fatalf("baseline has no cost: %+v", base)
+			}
+			// bigbody is deliberately pressure-bound: its large bodies
+			// cannot all pipeline inside the 32-register baseline file
+			// (the failures ride the flat-schedule fallback). Every other
+			// scenario's baseline must schedule cleanly.
+			if name != "bigbody" && !base.OK {
+				t.Fatalf("baseline did not schedule: %+v", base)
+			}
+			p := e.Evaluate(machine.Config{Buses: 2, Width: 2}, 128, 2)
+			if !p.OK {
+				t.Fatalf("2w2(128:2) did not schedule: %+v", p)
+			}
+			if s := e.Speedup(p); s <= 0 {
+				t.Errorf("speedup = %v", s)
+			}
+		})
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w, err := workload.Build("kernels", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	if err := workload.Save(w, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := workload.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != w.Name || back.Description != w.Description {
+		t.Errorf("header differs: %q/%q", back.Name, back.Description)
+	}
+	if len(back.Loops) != len(w.Loops) {
+		t.Fatalf("%d loops, want %d", len(back.Loops), len(w.Loops))
+	}
+	for i := range w.Loops {
+		a, b := w.Loops[i], back.Loops[i]
+		if a.Name != b.Name || a.Trips != b.Trips || a.NumOps() != b.NumOps() || len(a.Edges) != len(b.Edges) {
+			t.Errorf("loop %d differs after round trip", i)
+		}
+		for j := range a.Ops {
+			if a.Ops[j] != b.Ops[j] {
+				t.Errorf("loop %s op %d differs: %+v vs %+v", a.Name, j, a.Ops[j], b.Ops[j])
+			}
+		}
+	}
+	// A loaded workload schedules like any other.
+	e := perfcost.NewFromWorkload(back, nil)
+	if p := e.Baseline(); !p.OK {
+		t.Errorf("loaded workload baseline failed: %+v", p)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"missing name", `{"loops":[{"name":"l","trips":1,"ops":[{"kind":"add"}]}]}`, "missing name"},
+		{"no loops", `{"name":"w","loops":[]}`, "no loops"},
+		{"unknown field", `{"name":"w","version":2,"loops":[{"name":"l","trips":1,"ops":[{"kind":"add"}]}]}`, "version"},
+		{"invalid loop", `{"name":"w","loops":[{"name":"l","trips":1,"ops":[{"kind":"fma"}]}]}`, "unknown operation kind"},
+		{"dangling edge", `{"name":"w","loops":[{"name":"l","trips":1,"ops":[{"kind":"add"}],"edges":[{"from":0,"to":9}]}]}`, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := workload.Decode([]byte(tc.in)); err == nil {
+				t.Fatal("decode accepted malformed workload")
+			} else if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := workload.Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("loading a missing file must error")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := workload.Encode(nil); err == nil {
+		t.Error("nil workload must not encode")
+	}
+	if _, err := workload.Encode(&workload.Workload{Name: ""}); err == nil {
+		t.Error("unnamed workload must not encode")
+	}
+	if _, err := workload.Encode(&workload.Workload{Name: "w"}); err == nil {
+		t.Error("empty workload must not encode")
+	}
+	if err := workload.Save(&workload.Workload{}, filepath.Join(os.TempDir(), "x.json")); err == nil {
+		t.Error("saving an invalid workload must error")
+	}
+}
