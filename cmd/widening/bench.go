@@ -17,18 +17,31 @@ import (
 // prints a summary, optionally as machine-readable JSON (the format
 // committed as the BENCH_PR*.json trajectory files).
 //
-//	widening bench [-json] [-run Scheduler,RegisterPressure]
+//	widening bench [-json] [-benchtime 1x] [-run Scheduler,RegisterPressure]
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary on stdout")
 	run := fs.String("run", "", "comma-separated benchmark names (default: all)")
 	wl := fs.String("workload", "", "workload scenario to benchmark over (default: the trajectory's default scenario)")
+	benchtime := fs.String("benchtime", "",
+		"per-benchmark budget, a duration (\"100ms\") or an iteration count (\"1x\"); default: the testing package's 1s — CI's trajectory guard uses 1x")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *wl != "" {
 		if err := benchsuite.SetWorkload(*wl); err != nil {
 			return err
+		}
+	}
+	if *benchtime != "" {
+		// testing.Benchmark honors the test.benchtime flag; register the
+		// testing flags if no test harness did (in a test binary they
+		// already exist) and set it.
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return fmt.Errorf("bench: -benchtime %q: %w", *benchtime, err)
 		}
 	}
 

@@ -8,6 +8,7 @@
 //	widening workload list | show | export | import
 //	widening schedule -config 4w2 -regs 64 -kernel daxpy
 //	widening bench -json
+//	widening serve -addr 127.0.0.1:8080 -budget 500000 -preload default,kernels
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
@@ -21,7 +22,9 @@
 // the structured artifacts (JSON/CSV/plain text) next to the terminal
 // render, plus a manifest.json recording the workload provenance. The
 // full 1180-loop workbench still takes a while for fig3/fig8/fig9;
-// -loops trades fidelity for speed.
+// -loops trades fidelity for speed. `widening serve` runs the long-lived
+// HTTP/JSON design-space server over warm per-workload engines (see
+// internal/serve and the README's Serving section).
 package main
 
 import (
@@ -52,6 +55,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "workload" {
 		return runWorkload(args[1:])
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:])
 	}
 
 	fs := flag.NewFlagSet("widening", flag.ContinueOnError)
@@ -176,5 +182,6 @@ func usage() {
   widening workload export -name divheavy [-o div.json] [-loops N] [-seed S]
   widening workload import -in div.json
   widening schedule -config 4w2 -regs 64 -kernel daxpy|list
-  widening bench [-json] [-workload NAME] [-run Scheduler,RegisterPressure,Table5Implementable]`)
+  widening bench [-json] [-benchtime 1x] [-workload NAME] [-run Scheduler,RegisterPressure,Table5Implementable]
+  widening serve [-addr HOST:PORT] [-budget UNITS] [-preload default,kernels] [-loops N] [-seed S]`)
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+)
+
+// runServe starts the long-lived design-space query server: warm
+// per-workload engines behind an HTTP/JSON API (see internal/serve).
+//
+//	widening serve [-addr HOST:PORT] [-budget UNITS] [-preload a,b] [-loops N] [-seed S]
+//
+// The process runs until SIGINT/SIGTERM, then drains in-flight requests
+// and exits cleanly (CI's smoke relies on the clean exit).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	budget := fs.Int64("budget", 0,
+		"warm-engine memory budget in op units (0 = unlimited); idle LRU engines are evicted under pressure")
+	preload := fs.String("preload", "", "comma-separated workloads whose engines are built at startup")
+	loops := fs.Int("loops", 0, "suite size override for registry scenarios (0 = scenario defaults)")
+	seed := fs.Int64("seed", 0, "seed override for registry scenarios (0 = scenario defaults)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+	var pre []string
+	for _, name := range strings.Split(*preload, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			pre = append(pre, name)
+		}
+	}
+
+	srv, err := core.NewServer(core.ServeOptions{
+		Budget: *budget, Loops: *loops, Seed: *seed, Preload: pre,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "widening serve: listening on http://%s (%d engine(s) preloaded, budget %d)\n",
+		l.Addr(), len(pre), *budget)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "widening serve: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-done
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunServeErrors(t *testing.T) {
+	if err := run([]string{"serve", "stray"}); err == nil {
+		t.Error("stray positional argument must error")
+	}
+	if err := run([]string{"serve", "-preload", "nope"}); err == nil {
+		t.Error("preloading an unknown workload must error")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("preload error %v does not name the workload", err)
+	}
+	if err := run([]string{"serve", "-loops", "5", "-addr", "127.0.0.1:999999"}); err == nil {
+		t.Error("unlistenable address must error")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("captured run failed: %v", runErr)
+	}
+	return string(data)
+}
+
+// TestWorkloadImportShadowWarning pins the satellite contract: importing a
+// file whose workload name collides with a registered scenario succeeds
+// but spells out the registry-wins rule instead of staying silent.
+func TestWorkloadImportShadowWarning(t *testing.T) {
+	w, err := core.BuildWorkload("divheavy", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Name = core.DefaultWorkload
+	path := filepath.Join(t.TempDir(), "shadow.json")
+	if err := core.SaveWorkload(w, path); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"workload", "import", "-in", path})
+	})
+	if !strings.Contains(out, "registered scenario") || !strings.Contains(out, "selects the registry scenario") {
+		t.Errorf("import of a shadowed name must warn with the rule, got:\n%s", out)
+	}
+
+	// A non-colliding name imports without the warning.
+	w.Name = "mysuite"
+	if err := core.SaveWorkload(w, path); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() error {
+		return run([]string{"workload", "import", "-in", path})
+	})
+	if strings.Contains(out, "warning") {
+		t.Errorf("non-colliding import must not warn, got:\n%s", out)
+	}
+}
+
+// TestRunBenchBenchtime pins the CI trajectory-guard contract: a 1x
+// benchtime run emits JSON holding the Scheduler entry.
+func TestRunBenchBenchtime(t *testing.T) {
+	if err := run([]string{"bench", "-benchtime", "bogus", "-run", "Scheduler"}); err == nil {
+		t.Fatal("malformed -benchtime must error")
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"bench", "-json", "-benchtime", "1x", "-run", "Scheduler"})
+	})
+	var summary struct {
+		Workload   string `json:"workload"`
+		Benchmarks []struct {
+			Name       string  `json:"name"`
+			Iterations int     `json:"iterations"`
+			NsPerOp    float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out), &summary); err != nil {
+		t.Fatalf("bench -json output is not JSON: %v\n%s", err, out)
+	}
+	if len(summary.Benchmarks) != 1 || summary.Benchmarks[0].Name != "Scheduler" {
+		t.Fatalf("bench -run Scheduler = %+v, want the Scheduler entry", summary.Benchmarks)
+	}
+	if summary.Benchmarks[0].Iterations != 1 || summary.Benchmarks[0].NsPerOp <= 0 {
+		t.Errorf("1x run = %+v, want exactly one timed iteration", summary.Benchmarks[0])
+	}
+}

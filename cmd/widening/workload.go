@@ -110,6 +110,13 @@ func workloadImport(args []string) error {
 		return err
 	}
 	fmt.Printf("imported %s: valid\n", *in)
+	if core.WorkloadRegistered(w.Name) {
+		// Registered names win in -workload resolution (the pinned
+		// TestScenarioNameWinsOverFile rule); say so instead of letting the
+		// file be silently shadowed.
+		fmt.Printf("warning: workload name %q is also a registered scenario; `-workload %s` selects the registry scenario, not this file — pass the file path to use it\n",
+			w.Name, w.Name)
+	}
 	printWorkloadSummary(w)
 	return nil
 }
@@ -131,14 +138,7 @@ func printWorkloadSummary(w *core.Workload) {
 // isScenario reports whether the -workload flag value names a registered
 // scenario. Registry names always win over files: a stray file called
 // "default" in the working directory must not shadow the scenario.
-func isScenario(v string) bool {
-	for _, n := range core.WorkloadNames() {
-		if n == v {
-			return true
-		}
-	}
-	return false
-}
+func isScenario(v string) bool { return core.WorkloadRegistered(v) }
 
 // resolveContext builds the experiment context for a -workload flag
 // value: a registered scenario name, or otherwise a path to a workload

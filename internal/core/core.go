@@ -32,6 +32,7 @@ import (
 	"repro/internal/perfcost"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/spill"
 	"repro/internal/sweep"
 	"repro/internal/timing"
@@ -68,8 +69,40 @@ type (
 	SuiteStats = loopgen.SuiteStats
 )
 
+// Serving layer re-exports: the long-lived HTTP/JSON design-space server
+// (warm per-workload engines, LRU eviction under a memory budget) and its
+// typed client. See `widening serve` and examples/servequery.
+type (
+	// Server is the design-space query service.
+	Server = serve.Server
+	// ServeOptions configures a Server (budget, preload, suite overrides).
+	ServeOptions = serve.Options
+	// ServeClient is the typed Go client for the serve API.
+	ServeClient = serve.Client
+	// ServeEvalRequest selects one design cell for ServeClient.Eval.
+	ServeEvalRequest = serve.EvalRequest
+	// ServeSweepRequest is a panel of cells for ServeClient.Sweep.
+	ServeSweepRequest = serve.SweepRequest
+	// ServeSweepCell is one requested cell of a sweep.
+	ServeSweepCell = serve.SweepCell
+	// ServePoint is one evaluated cell as the API reports it.
+	ServePoint = serve.Point
+)
+
+// NewServer builds the design-space query server and warms any preloaded
+// engines.
+func NewServer(opts ServeOptions) (*Server, error) { return serve.New(opts) }
+
+// NewServeClient targets a running server's base URL.
+func NewServeClient(base string) *ServeClient { return serve.NewClient(base) }
+
 // DefaultWorkload is the name of the calibrated default scenario.
 const DefaultWorkload = workload.Default
+
+// WorkloadRegistered reports whether name is a registered scenario.
+// Registered names always win over files and imports of the same name in
+// workload resolution.
+func WorkloadRegistered(name string) bool { return workload.Registered(name) }
 
 // Workloads describes the registered workload scenarios.
 func Workloads() []WorkloadInfo { return workload.Infos() }

@@ -81,28 +81,52 @@ func NewWorkloadContext(w *workload.Workload) *Context {
 	return &Context{Engine: perfcost.NewFromWorkload(w, nil), Workload: w}
 }
 
+// NewContextOver wraps an already-warm engine instead of building a fresh
+// one — the serving layer's path, where the engine's schedule caches are
+// the whole point. loops and seed record the overrides the engine's
+// workload was built with, so cross-workload drivers stay at a comparable
+// scale.
+func NewContextOver(e *perfcost.Engine, w *workload.Workload, loops int, seed int64) *Context {
+	return &Context{Engine: e, Workload: w, loops: loops, seed: seed}
+}
+
 // runner produces one artifact.
 type runner struct {
 	id    string
 	title string
-	run   func(*Context) (Result, error)
+	// static marks cost-model-only drivers that never touch the context's
+	// workbench: their artifacts are workload-independent, so consumers
+	// (the serving layer) can run them without materializing an engine.
+	static bool
+	run    func(*Context) (Result, error)
 }
 
 var registry = []runner{
-	{"table1", "SIA technology predictions", func(*Context) (Result, error) { return Table1() }},
-	{"table2", "Multiported register cell dimensions", func(*Context) (Result, error) { return Table2() }},
-	{"table3", "Register file area of equal-factor configurations", func(*Context) (Result, error) { return Table3() }},
-	{"table4", "Relative register file access time", func(*Context) (Result, error) { return Table4() }},
-	{"table5", "Implementable configurations per technology", func(*Context) (Result, error) { return Table5() }},
-	{"table6", "Cycle models", func(*Context) (Result, error) { return Table6() }},
-	{"fig2", "ILP limits of replication and widening", func(c *Context) (Result, error) { return Fig2(c.Engine) }},
-	{"fig3", "Spill effects under finite register files", func(c *Context) (Result, error) { return Fig3(c.Engine) }},
-	{"fig4", "Area cost of the configurations", func(*Context) (Result, error) { return Fig4() }},
-	{"fig6", "Register file partitioning trade-off", func(*Context) (Result, error) { return Fig6() }},
-	{"fig7", "Relative code size", func(c *Context) (Result, error) { return Fig7(c.Engine.Loops()) }},
-	{"fig8", "Performance/cost trade-offs at 0.25um", func(c *Context) (Result, error) { return Fig8(c.Engine) }},
-	{"fig9", "Top five configurations per technology", func(c *Context) (Result, error) { return Fig9(c.Engine) }},
-	{"workloads", "Cross-workload sensitivity of the headline design points", func(c *Context) (Result, error) { return Workloads(c) }},
+	{"table1", "SIA technology predictions", true, func(*Context) (Result, error) { return Table1() }},
+	{"table2", "Multiported register cell dimensions", true, func(*Context) (Result, error) { return Table2() }},
+	{"table3", "Register file area of equal-factor configurations", true, func(*Context) (Result, error) { return Table3() }},
+	{"table4", "Relative register file access time", true, func(*Context) (Result, error) { return Table4() }},
+	{"table5", "Implementable configurations per technology", true, func(*Context) (Result, error) { return Table5() }},
+	{"table6", "Cycle models", true, func(*Context) (Result, error) { return Table6() }},
+	{"fig2", "ILP limits of replication and widening", false, func(c *Context) (Result, error) { return Fig2(c.Engine) }},
+	{"fig3", "Spill effects under finite register files", false, func(c *Context) (Result, error) { return Fig3(c.Engine) }},
+	{"fig4", "Area cost of the configurations", true, func(*Context) (Result, error) { return Fig4() }},
+	{"fig6", "Register file partitioning trade-off", true, func(*Context) (Result, error) { return Fig6() }},
+	{"fig7", "Relative code size", false, func(c *Context) (Result, error) { return Fig7(c.Engine.Loops()) }},
+	{"fig8", "Performance/cost trade-offs at 0.25um", false, func(c *Context) (Result, error) { return Fig8(c.Engine) }},
+	{"fig9", "Top five configurations per technology", false, func(c *Context) (Result, error) { return Fig9(c.Engine) }},
+	{"workloads", "Cross-workload sensitivity of the headline design points", false, func(c *Context) (Result, error) { return Workloads(c) }},
+}
+
+// Static reports whether the experiment's artifact is workload-independent
+// (false for unknown ids).
+func Static(id string) bool {
+	for _, r := range registry {
+		if r.id == id {
+			return r.static
+		}
+	}
+	return false
 }
 
 // IDs lists the experiment identifiers in run order.

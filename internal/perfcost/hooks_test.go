@@ -1,0 +1,49 @@
+package perfcost
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestEvaluateWithModel pins the serving layer's latency-model knob:
+// with the access-time-derived model it is exactly Evaluate, and a forced
+// model changes only the schedule side (Tc still follows the register
+// file).
+func TestEvaluateWithModel(t *testing.T) {
+	e := testEngine(t, 12)
+	c := cfg("2w2")
+	tc := e.Timing().Relative(c, 64, 2)
+	want := e.Evaluate(c, 64, 2)
+	if got := e.EvaluateWithModel(c, 64, 2, machine.ModelForCycleTime(tc)); got != want {
+		t.Errorf("EvaluateWithModel(derived) = %+v, want Evaluate's %+v", got, want)
+	}
+	forced := e.EvaluateWithModel(c, 64, 2, machine.FourCycle)
+	if forced.Z != 4 {
+		t.Errorf("forced model Z = %d, want 4", forced.Z)
+	}
+	if forced.Tc != want.Tc || forced.Area != want.Area {
+		t.Errorf("forcing the model must not move Tc/Area: %+v vs %+v", forced, want)
+	}
+}
+
+// TestMemEstimate pins the serving layer's budget unit: base op count at
+// construction, growing with each cached width transform.
+func TestMemEstimate(t *testing.T) {
+	e := testEngine(t, 10)
+	var ops int64
+	for _, l := range e.Loops() {
+		ops += int64(l.NumOps())
+	}
+	if got := e.MemEstimate(); got != ops {
+		t.Fatalf("cold MemEstimate = %d, want the %d base ops", got, ops)
+	}
+	e.PeakCycles(cfg("1w2"), machine.FourCycle) // caches the width-2 transform
+	if got := e.MemEstimate(); got != 2*ops {
+		t.Errorf("after one width: MemEstimate = %d, want %d", got, 2*ops)
+	}
+	e.PeakCycles(cfg("2w2"), machine.FourCycle) // width 2 again: no growth
+	if got := e.MemEstimate(); got != 2*ops {
+		t.Errorf("after a repeated width: MemEstimate = %d, want %d", got, 2*ops)
+	}
+}

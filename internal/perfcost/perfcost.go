@@ -135,6 +135,20 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// MemEstimate returns a cheap proxy for the engine's resident footprint in
+// op units: the workbench's total operation count, multiplied by one plus
+// the number of width transforms the widened cache holds (each cached
+// width keeps a comparably sized transformed suite alive). Serving-layer
+// budgets are denominated in these units; the estimate grows as queries
+// warm the caches.
+func (e *Engine) MemEstimate() int64 {
+	var ops int64
+	for _, l := range e.loops {
+		ops += int64(l.NumOps())
+	}
+	return ops * int64(1+e.widened.Len())
+}
+
 // NewFromWorkload builds an engine over a workload's loop suite; the
 // engine remembers the scenario name for reports. Caches key on the
 // engine, so two engines over different workloads never mix schedules.
@@ -363,10 +377,19 @@ func (p Point) DieFraction(tech area.Technology) float64 {
 	return p.Area / tech.ChipLambda2
 }
 
-// Evaluate prices and times one design point.
+// Evaluate prices and times one design point, selecting the cycle model
+// from the register file's access time (the Section 5 rule).
 func (e *Engine) Evaluate(c machine.Config, regs, partitions int) Point {
 	tc := e.timing.Relative(c, regs, partitions)
-	model := machine.ModelForCycleTime(tc)
+	return e.EvaluateWithModel(c, regs, partitions, machine.ModelForCycleTime(tc))
+}
+
+// EvaluateWithModel prices and times one design point under a forced cycle
+// model instead of the one the access time selects — the what-if the
+// serving layer exposes as the latency-model knob. Tc still reflects the
+// register file, so Time stays comparable with Evaluate's points.
+func (e *Engine) EvaluateWithModel(c machine.Config, regs, partitions int, model machine.CycleModel) Point {
+	tc := e.timing.Relative(c, regs, partitions)
 	suite := e.SuiteCycles(c, regs, model)
 	p := Point{
 		Config:       c,

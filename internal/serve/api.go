@@ -1,0 +1,157 @@
+// Package serve is the long-lived serving layer of the reproduction: an
+// HTTP/JSON API over warm perfcost engines, one per workload, so
+// interactive clients sweep design points without re-synthesizing or
+// re-scheduling suites per request.
+//
+// The surface mirrors the batch CLI:
+//
+//	GET  /healthz                   liveness + uptime
+//	GET  /v1/workloads              scenario registry + imported workloads
+//	POST /v1/workloads              import a loop-IR workload file body
+//	GET  /v1/eval                   one design cell: config/regs/partitions[/z]
+//	POST /v1/sweep                  a panel of cells (single JSON or NDJSON stream)
+//	GET  /v1/experiments/{id}       a paper artifact over the warm engine
+//	GET  /v1/stats                  engine cache counters, memory, evictions
+//
+// Engines are held by a Manager with singleflight construction, LRU
+// accounting and eviction under a configurable memory budget (denominated
+// in op units, perfcost.Engine.MemEstimate). Registered scenario names
+// always win over imported workloads of the same name, so imports that
+// would be shadowed are rejected with the rule spelled out rather than
+// silently unreachable.
+package serve
+
+// Error is the JSON error body every non-2xx response carries.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Workloads counts the workloads currently answerable (registry +
+	// imported).
+	Workloads int `json:"workloads"`
+}
+
+// WorkloadInfo describes one answerable workload.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Loops is the suite size (for the registry: the scenario's default
+	// size, before the server's -loops override).
+	Loops int `json:"loops"`
+	// Fixed marks hand-written libraries that ignore loops/seed overrides.
+	Fixed bool `json:"fixed,omitempty"`
+	// Ops is the total operation count (imported workloads only, where the
+	// suite is already materialized).
+	Ops int `json:"ops,omitempty"`
+}
+
+// WorkloadsResponse is the GET /v1/workloads body.
+type WorkloadsResponse struct {
+	// Registry lists the built-in scenarios.
+	Registry []WorkloadInfo `json:"registry"`
+	// Imported lists workloads uploaded via POST /v1/workloads.
+	Imported []WorkloadInfo `json:"imported"`
+}
+
+// ImportResponse is the POST /v1/workloads body.
+type ImportResponse struct {
+	Name  string `json:"name"`
+	Loops int    `json:"loops"`
+	Ops   int    `json:"ops"`
+	// Replaced reports that an earlier import of the same name was
+	// superseded (its warm engine, if any, was dropped).
+	Replaced bool `json:"replaced,omitempty"`
+}
+
+// Point is one evaluated design cell as the API reports it — the
+// perfcost.Point fields plus the paper's label.
+type Point struct {
+	Label      string  `json:"label"`
+	Config     string  `json:"config"`
+	Regs       int     `json:"regs"`
+	Partitions int     `json:"partitions"`
+	Tc         float64 `json:"tc"`
+	Z          int     `json:"z"`
+	Cycles     float64 `json:"cycles"`
+	Time       float64 `json:"time"`
+	Area       float64 `json:"area"`
+	OK         bool    `json:"ok"`
+	Failures   int     `json:"failures,omitempty"`
+	Spilled    int     `json:"spilled_loops,omitempty"`
+	SpillOps   int     `json:"spill_ops,omitempty"`
+	// Speedup is the point's speed-up over the workload's 1w1(32:1)
+	// baseline (0 when the point does not schedule).
+	Speedup float64 `json:"speedup"`
+}
+
+// EvalResponse is the GET /v1/eval body.
+type EvalResponse struct {
+	Workload string `json:"workload"`
+	Point    Point  `json:"point"`
+	// PeakSpeedup is the Figure 2 ILP-limit speed-up of the configuration,
+	// the "how much of the potential does this cell realize" companion.
+	PeakSpeedup float64 `json:"peak_speedup"`
+}
+
+// SweepCell is one requested cell of a sweep.
+type SweepCell struct {
+	Config     string `json:"config"`
+	Regs       int    `json:"regs"`
+	Partitions int    `json:"partitions,omitempty"`
+	// Z forces a cycle model (0 = derive from the access time).
+	Z int `json:"z,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body.
+type SweepRequest struct {
+	Workload string      `json:"workload"`
+	Cells    []SweepCell `json:"cells"`
+}
+
+// SweepResponse is the POST /v1/sweep body (non-streaming form). With
+// ?stream=1 the response is instead NDJSON: one Point per line, in
+// submission order.
+type SweepResponse struct {
+	Workload string  `json:"workload"`
+	Points   []Point `json:"points"`
+}
+
+// EngineStats describes one warm engine in /v1/stats.
+type EngineStats struct {
+	Workload string `json:"workload"`
+	// Source is "registry" or "imported".
+	Source string `json:"source"`
+	Loops  int    `json:"loops"`
+	// MemUnits is the engine's current perfcost.Engine.MemEstimate.
+	MemUnits int64 `json:"mem_units"`
+	// Requests counts acquisitions of this engine since it was built.
+	Requests int64 `json:"requests"`
+	// The engine's unique-computation counters (perfcost.Engine.Stats):
+	// repeated queries that hit the schedule caches do not move these.
+	WidenComputes int64 `json:"widen_computes"`
+	SuiteComputes int64 `json:"suite_computes"`
+	PeakComputes  int64 `json:"peak_computes"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// BudgetUnits is the configured memory budget in op units (0 =
+	// unlimited); MemUnits is the current total across warm engines.
+	BudgetUnits int64 `json:"budget_units"`
+	MemUnits    int64 `json:"mem_units"`
+	// Hits/Misses count engine-cache lookups; Builds counts engine
+	// constructions (misses that were not coalesced onto an in-flight
+	// build); Evictions counts engines dropped under budget pressure.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Builds    int64 `json:"builds"`
+	Evictions int64 `json:"evictions"`
+	// Engines lists the warm engines in least- to most-recently-used
+	// order.
+	Engines []EngineStats `json:"engines"`
+}

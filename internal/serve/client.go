@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Client is a typed Go client for the serve API, used by the tests, the
+// CI smoke and examples/servequery. The zero value is not usable; call
+// NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a server base URL (e.g. "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+}
+
+// NewClientHTTP is NewClient with a custom http.Client (timeouts,
+// transports, test servers).
+func NewClientHTTP(base string, hc *http.Client) *Client {
+	c := NewClient(base)
+	c.hc = hc
+	return c
+}
+
+// Health calls GET /healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	return out, c.get(ctx, "/healthz", nil, &out)
+}
+
+// Workloads calls GET /v1/workloads.
+func (c *Client) Workloads(ctx context.Context) (WorkloadsResponse, error) {
+	var out WorkloadsResponse
+	return out, c.get(ctx, "/v1/workloads", nil, &out)
+}
+
+// Import uploads a workload (POST /v1/workloads). Names colliding with a
+// registered scenario are rejected by the server — see Manager.Import.
+func (c *Client) Import(ctx context.Context, w *workload.Workload) (ImportResponse, error) {
+	var out ImportResponse
+	body, err := workload.Encode(w)
+	if err != nil {
+		return out, err
+	}
+	return out, c.post(ctx, "/v1/workloads", body, &out)
+}
+
+// EvalRequest selects one design cell for Eval.
+type EvalRequest struct {
+	// Workload is the scenario or imported workload ("" = default).
+	Workload string
+	// Config is the paper's XwY notation.
+	Config string
+	// Regs and Partitions size the register file (0 = the server defaults,
+	// 64 and 1).
+	Regs, Partitions int
+	// Z forces a cycle model (0 = derive from the access time).
+	Z int
+}
+
+// Eval calls GET /v1/eval.
+func (c *Client) Eval(ctx context.Context, req EvalRequest) (EvalResponse, error) {
+	q := url.Values{}
+	q.Set("config", req.Config)
+	if req.Workload != "" {
+		q.Set("workload", req.Workload)
+	}
+	if req.Regs != 0 {
+		q.Set("regs", strconv.Itoa(req.Regs))
+	}
+	if req.Partitions != 0 {
+		q.Set("partitions", strconv.Itoa(req.Partitions))
+	}
+	if req.Z != 0 {
+		q.Set("z", strconv.Itoa(req.Z))
+	}
+	var out EvalResponse
+	return out, c.get(ctx, "/v1/eval", q, &out)
+}
+
+// Sweep calls POST /v1/sweep (single-response form).
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, error) {
+	var out SweepResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	return out, c.post(ctx, "/v1/sweep", body, &out)
+}
+
+// SweepStream calls POST /v1/sweep?stream=1 and invokes fn for each
+// point as it arrives, in submission order.
+func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Point) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sweep?stream=1", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var p Point
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			return fmt.Errorf("serve: decode stream line: %w", err)
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ExperimentResponse is the experiment envelope (the artifact's canonical
+// export shape): id, title, and the full typed result as raw JSON.
+type ExperimentResponse struct {
+	ID    string          `json:"id"`
+	Title string          `json:"title"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// Experiment calls GET /v1/experiments/{id}.
+func (c *Client) Experiment(ctx context.Context, id, workloadName string) (ExperimentResponse, error) {
+	q := url.Values{}
+	if workloadName != "" {
+		q.Set("workload", workloadName)
+	}
+	var out ExperimentResponse
+	return out, c.get(ctx, "/v1/experiments/"+url.PathEscape(id), q, &out)
+}
+
+// Stats calls GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	return out, c.get(ctx, "/v1/stats", nil, &out)
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return decodeBody(resp, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	resp, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	return decodeBody(resp, out)
+}
+
+// do issues the request and turns non-2xx responses into errors carrying
+// the server's message. The caller owns resp.Body on success.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var e Error
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("serve: %s %s: HTTP %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return resp, nil
+}
+
+func decodeBody(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decode response: %w", err)
+	}
+	return nil
+}

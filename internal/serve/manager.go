@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/perfcost"
+	"repro/internal/workload"
+)
+
+// ErrUnknownWorkload is wrapped by Acquire when a name is neither a
+// registered scenario nor an imported workload; the server maps it to 404.
+var ErrUnknownWorkload = errors.New("unknown workload")
+
+// ManagerOptions configures a Manager.
+type ManagerOptions struct {
+	// Budget caps the total estimated engine memory, in op units
+	// (perfcost.Engine.MemEstimate); 0 means unlimited. Under pressure the
+	// least-recently-used idle engines are evicted; an engine currently
+	// serving a request is never evicted, and a single engine over the
+	// budget by itself is kept (the server could not answer otherwise).
+	Budget int64
+	// Loops and Seed override registered scenarios' suite size and seed
+	// (0 = the scenario defaults). Imported workloads carry their own
+	// suites and ignore both.
+	Loops int
+	Seed  int64
+}
+
+// Manager holds warm engines keyed by workload name. Engine construction
+// is singleflight: concurrent first requests for a workload build its
+// engine once and share it. All methods are safe for concurrent use.
+type Manager struct {
+	opts ManagerOptions
+
+	mu       sync.Mutex
+	entries  map[string]*engineEntry
+	imported map[string]*workload.Workload
+	// seq is the LRU clock: each acquisition stamps the entry with the
+	// next tick, and eviction removes the smallest stamp first.
+	seq                             int64
+	hits, misses, builds, evictions int64
+}
+
+// engineEntry is one warm (or in-flight) engine. ready is closed when the
+// build finishes; eng/wl/err must only be read after ready is closed
+// (waiters), or by the builder itself. The remaining fields are guarded by
+// the manager's mutex.
+type engineEntry struct {
+	key    string
+	source string // "registry" or "imported"
+	ready  chan struct{}
+	wl     *workload.Workload
+	eng    *perfcost.Engine
+	err    error
+
+	lastUsed int64
+	active   int
+	requests int64
+}
+
+// built reports (without blocking) that the entry's build finished
+// successfully; reading eng after a true return is race-free via the
+// channel close.
+func (e *engineEntry) built() bool {
+	select {
+	case <-e.ready:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
+// NewManager returns an empty manager.
+func NewManager(opts ManagerOptions) *Manager {
+	return &Manager{
+		opts:     opts,
+		entries:  map[string]*engineEntry{},
+		imported: map[string]*workload.Workload{},
+	}
+}
+
+// Handle is an acquired engine. Release it when the request is done so
+// the engine becomes evictable again.
+type Handle struct {
+	m *Manager
+	e *engineEntry
+}
+
+// Engine returns the warm engine.
+func (h *Handle) Engine() *perfcost.Engine { return h.e.eng }
+
+// Workload returns the engine's workload.
+func (h *Handle) Workload() *workload.Workload { return h.e.wl }
+
+// Source reports where the workload came from ("registry" or "imported").
+func (h *Handle) Source() string { return h.e.source }
+
+// Release marks the request done and applies budget pressure.
+func (h *Handle) Release() {
+	h.m.mu.Lock()
+	h.e.active--
+	h.m.evictLocked()
+	h.m.mu.Unlock()
+}
+
+// Acquire returns a warm engine for the named workload, building it on
+// first use. Concurrent first requests coalesce onto one build. The
+// caller must Release the handle.
+func (m *Manager) Acquire(name string) (*Handle, error) {
+	m.mu.Lock()
+	e, ok := m.entries[name]
+	if ok {
+		m.hits++
+	} else {
+		e = &engineEntry{key: name, ready: make(chan struct{})}
+		if w, imp := m.imported[name]; imp {
+			e.wl, e.source = w, "imported"
+		} else if workload.Registered(name) {
+			e.source = "registry"
+		} else {
+			m.mu.Unlock()
+			return nil, errUnknown(name)
+		}
+		m.misses++
+		m.builds++
+		m.entries[name] = e
+	}
+	m.seq++
+	e.lastUsed = m.seq
+	e.active++
+	e.requests++
+	m.mu.Unlock()
+
+	if !ok {
+		// This caller is the builder; waiters block on ready.
+		if e.wl == nil {
+			e.wl, e.err = workload.Build(name, m.opts.Loops, m.opts.Seed)
+		}
+		if e.err == nil {
+			e.eng = perfcost.NewFromWorkload(e.wl, nil)
+		}
+		close(e.ready)
+	}
+
+	<-e.ready
+	if e.err != nil {
+		m.mu.Lock()
+		e.active--
+		// Drop the failed entry so a corrected retry rebuilds; the guard
+		// keeps a concurrent re-import's fresh entry intact.
+		if m.entries[name] == e {
+			delete(m.entries, name)
+		}
+		m.mu.Unlock()
+		return nil, e.err
+	}
+	return &Handle{m: m, e: e}, nil
+}
+
+// Import registers an uploaded workload. A name colliding with a
+// registered scenario is rejected — registered names always win in
+// resolution, so the import would be silently unreachable. Re-importing a
+// name replaces the suite and drops its warm engine (in-flight requests
+// finish on the old engine).
+func (m *Manager) Import(w *workload.Workload) (replaced bool, err error) {
+	if workload.Registered(w.Name) {
+		return false, fmt.Errorf(
+			"serve: workload name %q is a registered scenario, and registered names always win over imports — queries for %q would resolve to the registry, never to this file; rename the workload to import it",
+			w.Name, w.Name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, replaced = m.imported[w.Name]
+	m.imported[w.Name] = w
+	// A warm engine over the superseded suite must not answer for the new
+	// one; dropping the entry (even mid-request: handles keep their
+	// pointer, the engine is immutable) makes the next Acquire rebuild.
+	delete(m.entries, w.Name)
+	return replaced, nil
+}
+
+func errUnknown(name string) error {
+	return fmt.Errorf("%w %q: not a registered scenario (have %v) and not imported (POST /v1/workloads)",
+		ErrUnknownWorkload, name, workload.Names())
+}
+
+// Known reports whether name resolves to a registered scenario or an
+// imported workload, without building anything.
+func (m *Manager) Known(name string) bool {
+	if workload.Registered(name) {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.imported[name]
+	return ok
+}
+
+// Imported lists the uploaded workloads sorted by name.
+func (m *Manager) Imported() []*workload.Workload {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*workload.Workload, 0, len(m.imported))
+	for _, w := range m.imported {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Preload warms engines for the named workloads, one at a time.
+func (m *Manager) Preload(names []string) error {
+	for _, name := range names {
+		h, err := m.Acquire(name)
+		if err != nil {
+			return fmt.Errorf("serve: preload %s: %w", name, err)
+		}
+		h.Release()
+	}
+	return nil
+}
+
+// ManagerStats is a snapshot of the cache counters and the warm engines.
+type ManagerStats struct {
+	Budget, Mem                     int64
+	Hits, Misses, Builds, Evictions int64
+	// Engines lists the built engines in least- to most-recently-used
+	// order (in-flight builds are omitted).
+	Engines []EngineStats
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := ManagerStats{
+		Budget: m.opts.Budget,
+		Hits:   m.hits, Misses: m.misses,
+		Builds: m.builds, Evictions: m.evictions,
+	}
+	order := make([]*engineEntry, 0, len(m.entries))
+	for _, e := range m.entries {
+		if e.built() {
+			order = append(order, e)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].lastUsed < order[j].lastUsed })
+	for _, e := range order {
+		mem := e.eng.MemEstimate()
+		s.Mem += mem
+		es := e.eng.Stats()
+		s.Engines = append(s.Engines, EngineStats{
+			Workload:      e.key,
+			Source:        e.source,
+			Loops:         len(e.wl.Loops),
+			MemUnits:      mem,
+			Requests:      e.requests,
+			WidenComputes: es.WidenComputes,
+			SuiteComputes: es.SuiteComputes,
+			PeakComputes:  es.PeakComputes,
+		})
+	}
+	return s
+}
+
+// totalLocked sums the built engines' memory estimates. Callers hold mu.
+func (m *Manager) totalLocked() int64 {
+	var total int64
+	for _, e := range m.entries {
+		if e.built() {
+			total += e.eng.MemEstimate()
+		}
+	}
+	return total
+}
+
+// evictLocked drops least-recently-used idle engines until the total
+// estimate fits the budget (or nothing idle remains). Callers hold mu.
+func (m *Manager) evictLocked() {
+	if m.opts.Budget <= 0 {
+		return
+	}
+	for m.totalLocked() > m.opts.Budget {
+		if len(m.entries) <= 1 {
+			// The last engine standing is kept even over budget: evicting
+			// it would leave the server unable to answer anything warm.
+			return
+		}
+		var victim *engineEntry
+		for _, e := range m.entries {
+			if e.active > 0 || !e.built() {
+				continue
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(m.entries, victim.key)
+		m.evictions++
+	}
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// sameSuite builds identical-content workloads under different names, so
+// every engine's memory estimate is the same known number of op units and
+// eviction arithmetic is exact.
+func sameSuite(t *testing.T, names ...string) []*workload.Workload {
+	t.Helper()
+	base, err := workload.Build(workload.Default, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*workload.Workload, len(names))
+	for i, name := range names {
+		out[i] = &workload.Workload{Name: name, Description: "test suite", Loops: base.Loops}
+	}
+	return out
+}
+
+// unitEstimate measures one engine's op units at build time (no widened
+// caches yet).
+func unitEstimate(t *testing.T, w *workload.Workload) int64 {
+	t.Helper()
+	m := NewManager(ManagerOptions{})
+	if _, err := m.Import(w); err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Acquire(w.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	return h.Engine().MemEstimate()
+}
+
+func warmNames(s ManagerStats) []string {
+	out := make([]string, len(s.Engines))
+	for i, e := range s.Engines {
+		out[i] = e.Workload
+	}
+	return out
+}
+
+func acquireRelease(t *testing.T, m *Manager, name string) {
+	t.Helper()
+	h, err := m.Acquire(name)
+	if err != nil {
+		t.Fatalf("acquire %s: %v", name, err)
+	}
+	h.Release()
+}
+
+// TestManagerLRUEviction pins the eviction order: under a budget that
+// holds exactly two engines, the least-recently-used idle engine goes
+// first, and a cache hit refreshes recency.
+func TestManagerLRUEviction(t *testing.T) {
+	suites := sameSuite(t, "wa", "wb", "wc", "wd")
+	unit := unitEstimate(t, suites[0])
+	if unit <= 0 {
+		t.Fatalf("unit estimate = %d, want > 0", unit)
+	}
+
+	m := NewManager(ManagerOptions{Budget: 2 * unit})
+	for _, w := range suites {
+		if _, err := m.Import(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	acquireRelease(t, m, "wa")
+	acquireRelease(t, m, "wb")
+	if got := warmNames(m.Stats()); !equal(got, []string{"wa", "wb"}) {
+		t.Fatalf("after wa,wb: warm = %v", got)
+	}
+	acquireRelease(t, m, "wc") // over budget: wa is LRU, goes first
+	if got := warmNames(m.Stats()); !equal(got, []string{"wb", "wc"}) {
+		t.Fatalf("after wc: warm = %v (want wa evicted)", got)
+	}
+	acquireRelease(t, m, "wb") // hit: wb becomes most recent
+	acquireRelease(t, m, "wd") // wc is now LRU
+	if got := warmNames(m.Stats()); !equal(got, []string{"wb", "wd"}) {
+		t.Fatalf("after wb,wd: warm = %v (want wc evicted)", got)
+	}
+
+	s := m.Stats()
+	if s.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", s.Evictions)
+	}
+	if s.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (the wb re-acquire)", s.Hits)
+	}
+	if s.Builds != 4 {
+		t.Errorf("builds = %d, want 4", s.Builds)
+	}
+	if s.Mem != 2*unit {
+		t.Errorf("mem = %d, want %d", s.Mem, 2*unit)
+	}
+}
+
+// TestManagerActiveNotEvicted pins the idle rule: an engine serving an
+// in-flight request survives any budget pressure; pressure is applied
+// when it is released.
+func TestManagerActiveNotEvicted(t *testing.T) {
+	suites := sameSuite(t, "wa", "wb")
+	unit := unitEstimate(t, suites[0])
+
+	// A budget below even one engine: everything idle is under pressure.
+	m := NewManager(ManagerOptions{Budget: unit - 1})
+	for _, w := range suites {
+		if _, err := m.Import(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ha, err := m.Acquire("wa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := m.Acquire("wb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both held: twice over budget, nothing evictable.
+	if got := len(warmNames(m.Stats())); got != 2 {
+		t.Fatalf("warm engines while both held = %d, want 2", got)
+	}
+	hb.Release() // wb idle and newer, wa active and older: wb goes
+	if got := warmNames(m.Stats()); !equal(got, []string{"wa"}) {
+		t.Fatalf("after releasing wb: warm = %v (want the active wa kept)", got)
+	}
+	ha.Release() // wa is the last engine standing: kept even over budget
+	if got := warmNames(m.Stats()); !equal(got, []string{"wa"}) {
+		t.Fatalf("after releasing wa: warm = %v (want the last engine kept)", got)
+	}
+}
+
+// TestManagerSingleflight hammers one cold workload from many goroutines
+// (run under -race in CI, mirroring TestEngineSingleflight): exactly one
+// engine build, every caller sharing it.
+func TestManagerSingleflight(t *testing.T) {
+	m := NewManager(ManagerOptions{Loops: 6, Seed: 1})
+	const hammerers = 24
+	engines := make([]any, hammerers)
+	var wg sync.WaitGroup
+	for g := 0; g < hammerers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h, err := m.Acquire("divheavy")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			engines[g] = h.Engine()
+			h.Release()
+		}(g)
+	}
+	wg.Wait()
+
+	s := m.Stats()
+	if s.Builds != 1 {
+		t.Errorf("builds = %d, want 1 (singleflight)", s.Builds)
+	}
+	if s.Hits+s.Misses != hammerers {
+		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, hammerers)
+	}
+	for g := 1; g < hammerers; g++ {
+		if engines[g] != engines[0] {
+			t.Fatalf("goroutine %d got a different engine", g)
+		}
+	}
+	if len(s.Engines) != 1 || s.Engines[0].Requests != hammerers {
+		t.Errorf("engine stats = %+v, want one engine with %d requests", s.Engines, hammerers)
+	}
+}
+
+func TestManagerUnknownWorkload(t *testing.T) {
+	m := NewManager(ManagerOptions{})
+	if _, err := m.Acquire("nope"); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("acquire nope: err = %v, want ErrUnknownWorkload", err)
+	}
+}
+
+// TestManagerImportShadow pins the registry-wins rule surfacing: an
+// import named like a registered scenario is rejected with the rule
+// spelled out, never silently shadowed.
+func TestManagerImportShadow(t *testing.T) {
+	m := NewManager(ManagerOptions{})
+	suites := sameSuite(t, workload.Default)
+	if _, err := m.Import(suites[0]); err == nil {
+		t.Fatal("importing a workload named like a registered scenario must fail")
+	} else if !strings.Contains(err.Error(), "registered scenario") ||
+		!strings.Contains(err.Error(), "resolve to the registry") {
+		t.Fatalf("shadow rejection must explain the rule, got: %v", err)
+	}
+}
+
+// TestManagerImportReplace: re-importing a name swaps the suite and drops
+// the warm engine so the next request rebuilds over the new loops.
+func TestManagerImportReplace(t *testing.T) {
+	m := NewManager(ManagerOptions{})
+	suites := sameSuite(t, "wx", "wx")
+	if replaced, err := m.Import(suites[0]); err != nil || replaced {
+		t.Fatalf("first import: replaced=%v err=%v", replaced, err)
+	}
+	acquireRelease(t, m, "wx")
+	if replaced, err := m.Import(suites[1]); err != nil || !replaced {
+		t.Fatalf("second import: replaced=%v err=%v, want replaced", replaced, err)
+	}
+	if got := len(warmNames(m.Stats())); got != 0 {
+		t.Fatalf("warm engines after replacing import = %d, want 0 (engine dropped)", got)
+	}
+	acquireRelease(t, m, "wx")
+	if s := m.Stats(); s.Builds != 2 {
+		t.Errorf("builds = %d, want 2 (rebuild after replace)", s.Builds)
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/perfcost"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Budget, Loops and Seed configure the engine manager (see
+	// ManagerOptions).
+	Budget int64
+	Loops  int
+	Seed   int64
+	// Preload lists workloads whose engines are built at startup, so the
+	// first request pays no synthesis or scheduling latency.
+	Preload []string
+}
+
+// Server is the long-lived design-space query service: an http.Handler
+// over a Manager of warm engines. Build one with New, mount Handler (or
+// call Serve/ListenAndServe), and stop it with Shutdown.
+type Server struct {
+	opts    Options
+	mgr     *Manager
+	mux     *http.ServeMux
+	hs      *http.Server
+	started time.Time
+}
+
+// New builds a server and warms the preloaded engines.
+func New(opts Options) (*Server, error) {
+	s := &Server{
+		opts:    opts,
+		mgr:     NewManager(ManagerOptions{Budget: opts.Budget, Loops: opts.Loops, Seed: opts.Seed}),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /v1/workloads", s.handleImport)
+	s.mux.HandleFunc("GET /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound,
+			"no such endpoint %s (have /healthz, /v1/workloads, /v1/eval, /v1/sweep, /v1/experiments/{id}, /v1/stats)",
+			r.URL.Path)
+	})
+	s.hs = &http.Server{Handler: s.mux}
+	if err := s.mgr.Preload(opts.Preload); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Manager exposes the engine manager (tests and embedders).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Handler returns the API handler, for mounting under httptest or a
+// larger mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve answers requests on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	if err := s.hs.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe answers requests on addr until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains in-flight requests and stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.hs.Shutdown(ctx)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workloads:     len(workload.Names()) + len(s.mgr.Imported()),
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	resp := WorkloadsResponse{Registry: []WorkloadInfo{}, Imported: []WorkloadInfo{}}
+	for _, info := range workload.Infos() {
+		resp.Registry = append(resp.Registry, WorkloadInfo{
+			Name:        info.Name,
+			Description: info.Description,
+			Loops:       info.Loops,
+			Fixed:       info.Fixed,
+		})
+	}
+	for _, wl := range s.mgr.Imported() {
+		resp.Imported = append(resp.Imported, WorkloadInfo{
+			Name:        wl.Name,
+			Description: wl.Description,
+			Loops:       len(wl.Loops),
+			Ops:         totalOps(wl),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	wl, err := workload.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	replaced, err := s.mgr.Import(wl)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ImportResponse{
+		Name:     wl.Name,
+		Loops:    len(wl.Loops),
+		Ops:      totalOps(wl),
+		Replaced: replaced,
+	})
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfg, err := machine.ParseConfig(q.Get("config"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "config: %v (want the paper's XwY notation, e.g. 4w2)", err)
+		return
+	}
+	regs, err := queryInt(q.Get("regs"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "regs: %v", err)
+		return
+	}
+	parts, err := queryInt(q.Get("partitions"), 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "partitions: %v", err)
+		return
+	}
+	z, err := queryInt(q.Get("z"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "z: %v", err)
+		return
+	}
+	if regs < 1 || parts < 1 {
+		writeError(w, http.StatusBadRequest, "regs and partitions must be >= 1")
+		return
+	}
+	h, err := s.acquire(w, q.Get("workload"))
+	if err != nil {
+		return
+	}
+	defer h.Release()
+	p, err := evalCell(h.Engine(), cfg, regs, parts, z)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvalResponse{
+		Workload:    h.Workload().Name,
+		Point:       p,
+		PeakSpeedup: h.Engine().PeakSpeedup(cfg),
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode sweep request: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep request has no cells")
+		return
+	}
+	// Validate every cell before evaluating any: a typo in cell 40 must
+	// not cost 39 schedules.
+	cfgs := make([]machine.Config, len(req.Cells))
+	for i, c := range req.Cells {
+		cfg, err := machine.ParseConfig(c.Config)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cell %d: config: %v", i, err)
+			return
+		}
+		if c.Regs < 1 {
+			writeError(w, http.StatusBadRequest, "cell %d: regs must be >= 1", i)
+			return
+		}
+		if c.Partitions < 0 {
+			writeError(w, http.StatusBadRequest, "cell %d: partitions must be >= 1 (or omitted for 1)", i)
+			return
+		}
+		if c.Z != 0 {
+			if _, ok := modelForZ(c.Z); !ok {
+				writeError(w, http.StatusBadRequest, "cell %d: %v", i, errBadModel(c.Z))
+				return
+			}
+		}
+		cfgs[i] = cfg
+	}
+	h, err := s.acquire(w, req.Workload)
+	if err != nil {
+		return
+	}
+	defer h.Release()
+	eng := h.Engine()
+
+	if streaming(r) {
+		// NDJSON: one point per line, in submission order, flushed as each
+		// cell completes so slow sweeps render incrementally.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		for i, c := range req.Cells {
+			p, _ := evalCell(eng, cfgs[i], c.Regs, max(c.Partitions, 1), c.Z)
+			if err := enc.Encode(p); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+
+	// Batch path: the unforced cells go through EvaluateMany as one
+	// concurrent panel (duplicates coalesce on the engine's caches);
+	// forced-model cells are evaluated individually.
+	points := make([]Point, len(req.Cells))
+	var batch []sweep.Cell
+	var batchIdx []int
+	for i, c := range req.Cells {
+		if c.Z == 0 {
+			batch = append(batch, sweep.Cell{Config: cfgs[i], Regs: c.Regs, Partitions: max(c.Partitions, 1)})
+			batchIdx = append(batchIdx, i)
+			continue
+		}
+		points[i], _ = evalCell(eng, cfgs[i], c.Regs, max(c.Partitions, 1), c.Z)
+	}
+	for bi, p := range eng.EvaluateMany(batch) {
+		points[batchIdx[bi]] = toPoint(eng, p)
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{Workload: h.Workload().Name, Points: points})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	known := false
+	for _, have := range experiments.IDs() {
+		if have == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (have %v)", id, experiments.IDs())
+		return
+	}
+	var ctx *experiments.Context
+	if experiments.Static(id) {
+		// Workload-independent artifact (the cost-model tables/figures):
+		// validate the workload name but do not materialize an engine a
+		// static driver would never touch — a cold server must answer
+		// table2 without synthesizing the 1180-loop default workbench.
+		name := r.URL.Query().Get("workload")
+		if name != "" && !s.mgr.Known(name) {
+			writeError(w, http.StatusNotFound, "%v", errUnknown(name))
+			return
+		}
+		ctx = experiments.NewContextOver(nil, nil, 0, 0)
+	} else {
+		h, err := s.acquire(w, r.URL.Query().Get("workload"))
+		if err != nil {
+			return
+		}
+		defer h.Release()
+		ctx = experiments.NewContextOver(h.Engine(), h.Workload(), s.opts.Loops, s.opts.Seed)
+	}
+	res, err := ctx.Run(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// The response is the artifact's canonical export envelope, so a
+	// served experiment and a `widening -out` file are byte-compatible.
+	buf, err := sweep.MarshalArtifact(res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ms := s.mgr.Stats()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		BudgetUnits:   ms.Budget,
+		MemUnits:      ms.Mem,
+		Hits:          ms.Hits,
+		Misses:        ms.Misses,
+		Builds:        ms.Builds,
+		Evictions:     ms.Evictions,
+		Engines:       ms.Engines,
+	}
+	if resp.Engines == nil {
+		resp.Engines = []EngineStats{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// acquire resolves the workload query parameter ("" = the default
+// scenario) to a warm engine, writing the error response itself on
+// failure.
+func (s *Server) acquire(w http.ResponseWriter, name string) (*Handle, error) {
+	if name == "" {
+		name = workload.Default
+	}
+	h, err := s.mgr.Acquire(name)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownWorkload) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return nil, err
+	}
+	return h, nil
+}
+
+// evalCell evaluates one design cell, forcing the z cycle model when
+// non-zero.
+func evalCell(eng *perfcost.Engine, cfg machine.Config, regs, parts, z int) (Point, error) {
+	if z == 0 {
+		return toPoint(eng, eng.Evaluate(cfg, regs, parts)), nil
+	}
+	model, ok := modelForZ(z)
+	if !ok {
+		return Point{}, errBadModel(z)
+	}
+	return toPoint(eng, eng.EvaluateWithModel(cfg, regs, parts, model)), nil
+}
+
+func errBadModel(z int) error {
+	var have []int
+	for _, m := range machine.CycleModels() {
+		have = append(have, m.Z)
+	}
+	return fmt.Errorf("no z=%d cycle model (have %v)", z, have)
+}
+
+func modelForZ(z int) (machine.CycleModel, bool) {
+	for _, m := range machine.CycleModels() {
+		if m.Z == z {
+			return m, true
+		}
+	}
+	return machine.CycleModel{}, false
+}
+
+func toPoint(eng *perfcost.Engine, p perfcost.Point) Point {
+	return Point{
+		Label:      p.Label(),
+		Config:     p.Config.String(),
+		Regs:       p.Regs,
+		Partitions: p.Partitions,
+		Tc:         p.Tc,
+		Z:          p.Z,
+		Cycles:     p.Cycles,
+		Time:       p.Time,
+		Area:       p.Area,
+		OK:         p.OK,
+		Failures:   p.Failures,
+		Spilled:    p.SpilledLoops,
+		SpillOps:   p.SpillOps,
+		Speedup:    eng.Speedup(p),
+	}
+}
+
+func totalOps(w *workload.Workload) int {
+	var ops int
+	for _, l := range w.Loops {
+		ops += l.NumOps()
+	}
+	return ops
+}
+
+func streaming(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, Error{Error: fmt.Sprintf(format, args...)})
+}

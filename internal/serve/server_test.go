@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// testClient spins a server over small suites and returns a client on it.
+func testClient(t *testing.T, opts Options) *Client {
+	t.Helper()
+	if opts.Loops == 0 {
+		opts.Loops = 6
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return NewClientHTTP(ts.URL, ts.Client())
+}
+
+func importedSuite(t *testing.T, name string) *workload.Workload {
+	t.Helper()
+	base, err := workload.Build("divheavy", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &workload.Workload{Name: name, Description: "uploaded", Loops: base.Loops}
+}
+
+func TestServerHealthAndWorkloads(t *testing.T) {
+	c := testClient(t, Options{Preload: []string{"default"}})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workloads != len(workload.Names()) {
+		t.Errorf("health = %+v, want ok with %d workloads", h, len(workload.Names()))
+	}
+
+	wls, err := c.Workloads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls.Registry) != len(workload.Names()) || len(wls.Imported) != 0 {
+		t.Fatalf("workloads = %d registry + %d imported, want %d + 0",
+			len(wls.Registry), len(wls.Imported), len(workload.Names()))
+	}
+	if wls.Registry[0].Name != workload.Default || wls.Registry[0].Description == "" {
+		t.Errorf("first registry entry = %+v, want the described default scenario", wls.Registry[0])
+	}
+
+	// Import and see it listed with its materialized size.
+	imp, err := c.Import(ctx, importedSuite(t, "uploaded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Name != "uploaded" || imp.Loops != 6 || imp.Ops <= 0 || imp.Replaced {
+		t.Errorf("import = %+v, want uploaded/6 loops/positive ops", imp)
+	}
+	wls, err = c.Workloads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls.Imported) != 1 || wls.Imported[0].Name != "uploaded" || wls.Imported[0].Ops != imp.Ops {
+		t.Errorf("imported listing = %+v, want the uploaded suite", wls.Imported)
+	}
+}
+
+// TestServerEvalAcrossWorkloads answers /v1/eval for two registry
+// scenarios plus a file-imported workload (the acceptance matrix), and
+// checks repeated queries register as cache hits in /v1/stats.
+func TestServerEvalAcrossWorkloads(t *testing.T) {
+	c := testClient(t, Options{})
+	ctx := context.Background()
+	if _, err := c.Import(ctx, importedSuite(t, "uploaded")); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, wl := range []string{"default", "kernels", "uploaded"} {
+		for range 2 { // second round must hit both engine and schedule caches
+			ev, err := c.Eval(ctx, EvalRequest{Workload: wl, Config: "4w2", Regs: 64, Partitions: 2})
+			if err != nil {
+				t.Fatalf("eval %s: %v", wl, err)
+			}
+			if ev.Workload != wl || ev.Point.Label != "4w2(64:2)" {
+				t.Errorf("eval %s = %q %q, want the requested cell", wl, ev.Workload, ev.Point.Label)
+			}
+			if !ev.Point.OK || ev.Point.Speedup <= 0 || ev.Point.Time <= 0 || ev.Point.Area <= 0 {
+				t.Errorf("eval %s point = %+v, want a schedulable priced point", wl, ev.Point)
+			}
+			if ev.PeakSpeedup < ev.Point.Speedup {
+				t.Errorf("eval %s: peak %.3f < achieved %.3f", wl, ev.PeakSpeedup, ev.Point.Speedup)
+			}
+		}
+	}
+
+	s, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Builds != 3 || s.Hits < 3 {
+		t.Errorf("stats = builds %d hits %d, want 3 builds and >=3 hits", s.Builds, s.Hits)
+	}
+	if len(s.Engines) != 3 {
+		t.Fatalf("engines = %v, want 3 warm", s.Engines)
+	}
+	for _, e := range s.Engines {
+		if e.SuiteComputes == 0 || e.MemUnits <= 0 {
+			t.Errorf("engine %s stats = %+v, want schedule work and memory accounted", e.Workload, e)
+		}
+		if e.Workload == "uploaded" && e.Source != "imported" {
+			t.Errorf("uploaded engine source = %q, want imported", e.Source)
+		}
+	}
+
+	// A forced cycle model is honored and reported.
+	ev, err := c.Eval(ctx, EvalRequest{Config: "2w1", Regs: 64, Z: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Point.Z != 2 {
+		t.Errorf("forced z: point.Z = %d, want 2", ev.Point.Z)
+	}
+}
+
+func TestServerImportShadowRejected(t *testing.T) {
+	c := testClient(t, Options{})
+	ctx := context.Background()
+	_, err := c.Import(ctx, importedSuite(t, workload.Default))
+	if err == nil {
+		t.Fatal("import named like a registered scenario must be rejected")
+	}
+	if !strings.Contains(err.Error(), "registered scenario") || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("rejection must be a 409 explaining the registry-wins rule, got: %v", err)
+	}
+}
+
+func TestServerSweepBatchAndStream(t *testing.T) {
+	c := testClient(t, Options{})
+	ctx := context.Background()
+	req := SweepRequest{
+		Workload: "kernels",
+		Cells: []SweepCell{
+			{Config: "1w1", Regs: 32},
+			{Config: "2w2", Regs: 64, Partitions: 2},
+			{Config: "2w2", Regs: 64, Partitions: 2}, // duplicate: coalesces on the cache
+			{Config: "4w1", Regs: 128, Z: 4},         // forced model
+		},
+	}
+	batch, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Workload != "kernels" || len(batch.Points) != len(req.Cells) {
+		t.Fatalf("sweep = %d points over %q, want %d over kernels", len(batch.Points), batch.Workload, len(req.Cells))
+	}
+	if batch.Points[1] != batch.Points[2] {
+		t.Errorf("duplicate cells disagree: %+v vs %+v", batch.Points[1], batch.Points[2])
+	}
+	if batch.Points[3].Z != 4 {
+		t.Errorf("forced-model cell Z = %d, want 4", batch.Points[3].Z)
+	}
+	if batch.Points[0].Label != "1w1(32:1)" {
+		t.Errorf("cell 0 label = %q (partitions must default to 1)", batch.Points[0].Label)
+	}
+
+	// The stream returns the same points in the same order.
+	var streamed []Point
+	err = c.SweepStream(ctx, req, func(p Point) error {
+		streamed = append(streamed, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch.Points) {
+		t.Fatalf("streamed %d points, want %d", len(streamed), len(batch.Points))
+	}
+	for i := range streamed {
+		if streamed[i] != batch.Points[i] {
+			t.Errorf("stream point %d = %+v != batch %+v", i, streamed[i], batch.Points[i])
+		}
+	}
+}
+
+func TestServerExperiment(t *testing.T) {
+	c := testClient(t, Options{})
+	ctx := context.Background()
+	if _, err := c.Import(ctx, importedSuite(t, "uploaded")); err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range []string{"default", "uploaded"} {
+		res, err := c.Experiment(ctx, "table6", wl)
+		if err != nil {
+			t.Fatalf("experiment table6 over %s: %v", wl, err)
+		}
+		if res.ID != "table6" || res.Title == "" || len(res.Data) == 0 || string(res.Data) == "null" {
+			t.Errorf("table6 over %s = %+v, want the populated artifact envelope", wl, res)
+		}
+	}
+	// table6 is workload-independent: no engine may have been built for
+	// it (a cold server answers static artifacts instantly).
+	s, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Builds != 0 {
+		t.Errorf("builds after static experiments = %d, want 0", s.Builds)
+	}
+	// A static artifact still validates the workload name.
+	if _, err := c.Experiment(ctx, "table6", "nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("static experiment over unknown workload: err = %v, want 404", err)
+	}
+
+	// A workbench-backed artifact exercises the warm engine.
+	res, err := c.Experiment(ctx, "fig2", "kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig2" || len(res.Data) == 0 {
+		t.Errorf("fig2 = %+v, want populated", res)
+	}
+	if s, err := c.Stats(ctx); err != nil || s.Builds != 1 {
+		t.Errorf("builds after fig2 = %d (err %v), want 1", s.Builds, err)
+	}
+}
+
+// TestServerEvictionUnderBudget drives the whole acceptance loop over
+// HTTP: a budget too small for three engines forces evictions that show
+// up in /v1/stats.
+func TestServerEvictionUnderBudget(t *testing.T) {
+	c := testClient(t, Options{Budget: 1})
+	ctx := context.Background()
+	for _, wl := range []string{"default", "divheavy", "strided"} {
+		if _, err := c.Eval(ctx, EvalRequest{Workload: wl, Config: "1w2", Regs: 64}); err != nil {
+			t.Fatalf("eval %s: %v", wl, err)
+		}
+	}
+	s, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Evictions < 2 {
+		t.Errorf("evictions = %d, want >= 2 under a 1-unit budget", s.Evictions)
+	}
+	if len(s.Engines) != 1 {
+		t.Errorf("warm engines = %d, want the last one standing", len(s.Engines))
+	}
+	if s.BudgetUnits != 1 {
+		t.Errorf("budget = %d, want 1", s.BudgetUnits)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	c := testClient(t, Options{})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{"bad config", func() error {
+			_, err := c.Eval(ctx, EvalRequest{Config: "bogus"})
+			return err
+		}, "400"},
+		{"missing config", func() error {
+			_, err := c.Eval(ctx, EvalRequest{})
+			return err
+		}, "400"},
+		{"bad z", func() error {
+			_, err := c.Eval(ctx, EvalRequest{Config: "2w1", Z: 99})
+			return err
+		}, "no z=99 cycle model"},
+		{"unknown workload", func() error {
+			_, err := c.Eval(ctx, EvalRequest{Workload: "nope", Config: "2w1"})
+			return err
+		}, "404"},
+		{"empty sweep", func() error {
+			_, err := c.Sweep(ctx, SweepRequest{Workload: "default"})
+			return err
+		}, "no cells"},
+		{"sweep bad cell", func() error {
+			_, err := c.Sweep(ctx, SweepRequest{Cells: []SweepCell{{Config: "2w1", Regs: 64}, {Config: "x"}}})
+			return err
+		}, "cell 1"},
+		{"sweep negative partitions", func() error {
+			_, err := c.Sweep(ctx, SweepRequest{Cells: []SweepCell{{Config: "2w1", Regs: 64, Partitions: -2}}})
+			return err
+		}, "partitions must be >= 1"},
+		{"unknown experiment", func() error {
+			_, err := c.Experiment(ctx, "fig99", "")
+			return err
+		}, "unknown experiment"},
+		{"unknown endpoint", func() error {
+			var out struct{}
+			return c.get(ctx, "/v2/nope", nil, &out)
+		}, "no such endpoint"},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestServerPreloadWarmsEngines pins the -preload contract: preloaded
+// scenarios answer their first request from a warm engine.
+func TestServerPreloadWarmsEngines(t *testing.T) {
+	c := testClient(t, Options{Preload: []string{"default", "kernels"}})
+	ctx := context.Background()
+	s, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Engines) != 2 || s.Builds != 2 {
+		t.Fatalf("after preload: %d engines, %d builds, want 2 and 2", len(s.Engines), s.Builds)
+	}
+	if _, err := c.Eval(ctx, EvalRequest{Workload: "kernels", Config: "2w1"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err = c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hits < 1 {
+		t.Errorf("hits = %d, want the preloaded engine hit", s.Hits)
+	}
+	// Preloading an unknown workload fails server construction.
+	if _, err := New(Options{Loops: 6, Preload: []string{"nope"}}); err == nil {
+		t.Error("preloading an unknown workload must fail")
+	}
+}

@@ -53,14 +53,26 @@ type jsonEnvelope struct {
 	Data  any    `json:"data"`
 }
 
+// MarshalArtifact renders the artifact's canonical JSON envelope — id,
+// title, and the full typed result under "data" — the same bytes ExportJSON
+// writes to disk. The serving layer reuses it so an HTTP experiment
+// response and an exported artifact file are byte-compatible.
+func MarshalArtifact(a Artifact) ([]byte, error) {
+	buf, err := json.MarshalIndent(jsonEnvelope{ID: a.ID(), Title: a.Title(), Data: a}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal %s: %w", a.ID(), err)
+	}
+	return append(buf, '\n'), nil
+}
+
 // ExportJSON writes dir/<id>.json holding the artifact's typed rows and
 // returns the path.
 func ExportJSON(dir string, a Artifact) (string, error) {
-	buf, err := json.MarshalIndent(jsonEnvelope{ID: a.ID(), Title: a.Title(), Data: a}, "", "  ")
+	buf, err := MarshalArtifact(a)
 	if err != nil {
-		return "", fmt.Errorf("sweep: marshal %s: %w", a.ID(), err)
+		return "", err
 	}
-	return writeArtifact(dir, a.ID()+".json", append(buf, '\n'))
+	return writeArtifact(dir, a.ID()+".json", buf)
 }
 
 // ExportCSV writes dir/<id>.csv with the artifact's primary table and

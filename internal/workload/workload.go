@@ -140,6 +140,20 @@ var registry = []scenario{
 		}),
 }
 
+// Registered reports whether name is a registered scenario. Registered
+// names always win over files and imported workloads of the same name
+// (see TestScenarioNameWinsOverFile), so consumers that accept both use
+// this to detect — and report — the shadowing instead of silently
+// preferring the registry.
+func Registered(name string) bool {
+	for _, s := range registry {
+		if s.info.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Names lists the registered scenarios in presentation order.
 func Names() []string {
 	out := make([]string, len(registry))
