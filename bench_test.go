@@ -266,6 +266,11 @@ func BenchmarkAblationWideningCapacity(b *testing.B) {
 // throughput on scheduled loops (shared with `widening bench`).
 func BenchmarkRegisterPressure(b *testing.B) { benchsuite.RegisterPressure(b) }
 
+// BenchmarkRegalloc measures the allocator alone — the MinRegs search plus
+// fit probes at the paper's register file sizes over precomputed lifetime
+// sets (shared with `widening bench`).
+func BenchmarkRegalloc(b *testing.B) { benchsuite.Regalloc(b) }
+
 var benchSink *ddg.Loop
 
 // BenchmarkLoopGeneration measures workbench synthesis.

@@ -35,6 +35,7 @@ func All() []Bench {
 		{"Scheduler", Scheduler},
 		{"SchedulerCold", SchedulerCold},
 		{"RegisterPressure", RegisterPressure},
+		{"Regalloc", Regalloc},
 		{"Table5Implementable", Table5Implementable},
 	}
 }
@@ -146,6 +147,40 @@ func RegisterPressure(b *testing.B) {
 		set := lifetimes.Compute(s)
 		if regalloc.MinRegs(set, regalloc.EndFit) < set.MaxLive() {
 			b.Fatal("allocation below MaxLive")
+		}
+	}
+}
+
+// Regalloc measures the register allocator alone: lifetimes are computed
+// once in setup, and each iteration runs the exact MinRegs search plus a
+// fit probe at every register file size the paper evaluates — the sequence
+// spill.Schedule drives per design-space cell. The Search workspace is
+// reused across iterations, as the spill pass reuses it across rounds.
+func Regalloc(b *testing.B) {
+	loops := workbench(b, 60)
+	m := machine.New(machine.Config{Buses: 4, Width: 1}, 1<<20, machine.FourCycle)
+	var sets []*lifetimes.Set
+	for _, l := range loops {
+		s, err := sched.ModuloSchedule(l, m, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets = append(sets, lifetimes.Compute(s))
+	}
+	search := regalloc.NewSearch(sets[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := sets[i%len(sets)]
+		search.Reset(set)
+		min := search.MinRegs(regalloc.EndFit)
+		if min < set.MaxLive() {
+			b.Fatal("allocation below MaxLive")
+		}
+		for _, regs := range machine.RegFileSizes {
+			if search.Fits(regs, regalloc.EndFit) && regs < min {
+				b.Fatal("fit below the MinRegs minimum")
+			}
 		}
 	}
 }

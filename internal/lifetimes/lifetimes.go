@@ -50,8 +50,17 @@ type Set struct {
 
 // Compute derives the lifetimes of a schedule.
 func Compute(s *sched.Schedule) *Set {
+	return ComputeInto(&Set{}, s)
+}
+
+// ComputeInto derives the lifetimes of a schedule into dst, reusing dst's
+// value storage. The spill pass recomputes lifetimes once per
+// spill-reschedule round and once per candidate II of the growth
+// fallback; reusing one Set keeps those rounds allocation-free.
+func ComputeInto(dst *Set, s *sched.Schedule) *Set {
 	l := s.Loop
-	set := &Set{II: s.II}
+	dst.II = s.II
+	dst.Values = dst.Values[:0]
 	succs := l.Succs()
 	for _, op := range l.Ops {
 		if !op.Kind.HasResult() {
@@ -65,36 +74,64 @@ func Compute(s *sched.Schedule) *Set {
 				v.Len = n
 			}
 		}
-		set.Values = append(set.Values, v)
+		dst.Values = append(dst.Values, v)
 	}
-	return set
+	return dst
 }
 
 // Pressure returns the number of live values at each cycle of the kernel
 // (length II).
 func (s *Set) Pressure() []int {
-	p := make([]int, s.II)
+	return s.PressureInto(nil)
+}
+
+// PressureInto is Pressure writing into dst (grown when too small) so
+// repeated pressure queries over reused sets do not allocate.
+func (s *Set) PressureInto(dst []int) []int {
+	if s.II <= cap(dst) {
+		dst = dst[:s.II]
+		clear(dst)
+	} else {
+		dst = make([]int, s.II)
+	}
+	s.fillPressure(dst)
+	return dst
+}
+
+// fillPressure accumulates the per-row live counts into p (len II, zeroed).
+// It neither retains nor returns p, so callers can pass stack buffers.
+func (s *Set) fillPressure(p []int) {
 	for _, v := range s.Values {
 		full := v.Len / s.II
 		rem := v.Len % s.II
-		for r := range p {
-			p[r] += full
+		if full > 0 {
+			for r := range p {
+				p[r] += full
+			}
 		}
 		start := v.Start % s.II
 		for i := 0; i < rem; i++ {
 			p[(start+i)%s.II]++
 		}
 	}
-	return p
 }
 
 // MaxLive returns the maximum number of simultaneously live values — the
-// lower bound on the register requirement.
+// lower bound on the register requirement. For the kernel sizes real
+// schedules produce it runs off a stack buffer and does not allocate.
 func (s *Set) MaxLive() int {
+	var buf [64]int
+	var p []int
+	if s.II <= len(buf) {
+		p = buf[:s.II]
+	} else {
+		p = make([]int, s.II)
+	}
+	s.fillPressure(p)
 	max := 0
-	for _, p := range s.Pressure() {
-		if p > max {
-			max = p
+	for _, n := range p {
+		if n > max {
+			max = n
 		}
 	}
 	return max

@@ -143,6 +143,75 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestComputeIntoReusesStorage pins the allocation-free recompute path the
+// spill pass drives: ComputeInto must match Compute exactly and reuse the
+// destination's value storage across rebinds.
+func TestComputeIntoReusesStorage(t *testing.T) {
+	b := ddg.NewBuilder("reuse", 10)
+	ld := b.Load(1, "")
+	m1 := b.Op(machine.Mul, "")
+	st := b.Store(1, "")
+	b.Flow(ld, m1, 0)
+	b.Flow(m1, st, 0)
+	l := b.Build()
+
+	s1 := schedule(t, l, "1w1", machine.FourCycle)
+	s8 := schedule(t, l, "8w1", machine.FourCycle)
+
+	var dst Set
+	for _, s := range []*sched.Schedule{s1, s8, s1} {
+		got := ComputeInto(&dst, s)
+		if got != &dst {
+			t.Fatal("ComputeInto must return its destination")
+		}
+		want := Compute(s)
+		if got.II != want.II || len(got.Values) != len(want.Values) {
+			t.Fatalf("ComputeInto = II %d/%d values, want II %d/%d", got.II, len(got.Values), want.II, len(want.Values))
+		}
+		for i := range want.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("value %d = %+v, want %+v", i, got.Values[i], want.Values[i])
+			}
+		}
+	}
+	cap1 := cap(dst.Values)
+	ComputeInto(&dst, s8)
+	if cap(dst.Values) != cap1 {
+		t.Errorf("rebind grew storage: cap %d -> %d", cap1, cap(dst.Values))
+	}
+}
+
+// TestPressureIntoMatchesPressure pins the compute-into variant and its
+// buffer reuse against the allocating path.
+func TestPressureIntoMatchesPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	buf := []int(nil)
+	for trial := 0; trial < 50; trial++ {
+		ii := 1 + rng.Intn(70) // crosses the MaxLive stack-buffer boundary
+		set := &Set{II: ii}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			set.Values = append(set.Values, Value{Op: i, Start: rng.Intn(30), Len: 1 + rng.Intn(40)})
+		}
+		want := set.Pressure()
+		buf = set.PressureInto(buf)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(buf), len(want))
+		}
+		max := 0
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("trial %d: row %d = %d, want %d", trial, i, buf[i], want[i])
+			}
+			if want[i] > max {
+				max = want[i]
+			}
+		}
+		if got := set.MaxLive(); got != max {
+			t.Fatalf("trial %d: MaxLive = %d, want %d", trial, got, max)
+		}
+	}
+}
+
 // TestLowerIIRaisesPressure reproduces the paper's Section 3.2 premise
 // (from Llosa et al.): reducing the II increases the register
 // requirements. More resources -> smaller II -> more overlapped, longer

@@ -15,12 +15,28 @@
 // offsets, the one whose arc start lands closest after the end of an
 // already-placed arc, minimizing wasted space.
 //
+// The packing engine keeps the occupied cycles of the torus in a uint64
+// bitset (mirroring the scheduler's bitset reservation table): a conflict
+// test over a candidate arc is a handful of word-mask ANDs instead of a
+// scan over every placed arc, and end-fit's snugness score is a
+// nearest-set-bit walk backwards from the candidate start. A Search value
+// carries the per-set analyses (placement orders, total/max lifetime
+// length, MaxLive) and the attempt scratch across the upward
+// register-count scan of Allocate/MinRegs and across the spill pass's
+// TryAllocate/MinRegs/II-growth sequence, so repeated probes of the same
+// lifetime set stop re-sorting and re-allocating. Cheap lower bounds
+// (per-arc and total occupied cycles against R*II, MaxLive against R)
+// reject provably infeasible sizes before any placement work. Placements
+// are bit-identical to the original arc-scan implementation; the
+// differential and fuzz tests in this package pin that.
+//
 // Rau et al. report this strategy allocates within about one register of
 // the MaxLive lower bound; the property tests pin that contract here.
 package regalloc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/lifetimes"
@@ -79,41 +95,137 @@ func mod(a, m int) int {
 	return r
 }
 
+// Search is a reusable allocation workspace bound to one lifetime set.
+// Binding (NewSearch/Reset) computes the per-set aggregates once; every
+// subsequent TryAllocate/Fits/MinRegs/Allocate call reuses the placement
+// orders, the offset buffer and the torus bitset instead of re-deriving
+// them per register size. A Search is not safe for concurrent use.
+type Search struct {
+	set *lifetimes.Set
+
+	// Per-set aggregates, computed on Reset.
+	totalLen int
+	maxLen   int
+	minLen   int
+	maxLive  int
+
+	// Placement orders, computed lazily: a one-shot fit probe usually
+	// needs only adjacency ordering.
+	adjOrder  []int
+	longOrder []int
+	haveAdj   bool
+	haveLong  bool
+
+	// Attempt scratch, reused across sizes and orderings.
+	offsets  []int
+	words    []uint64
+	pressure []int
+}
+
+// NewSearch returns a Search bound to the set.
+func NewSearch(set *lifetimes.Set) *Search {
+	s := &Search{}
+	s.Reset(set)
+	return s
+}
+
+// Reset rebinds the Search to a (possibly mutated) lifetime set, reusing
+// all scratch storage. Callers that recompute lifetimes into the same Set
+// value must Reset before the next allocation probe.
+func (s *Search) Reset(set *lifetimes.Set) {
+	s.set = set
+	s.haveAdj, s.haveLong = false, false
+	totalLen, maxLen, minLen := 0, 0, 1
+	for _, v := range set.Values {
+		totalLen += v.Len
+		if v.Len > maxLen {
+			maxLen = v.Len
+		}
+		if v.Len < minLen {
+			minLen = v.Len
+		}
+	}
+	s.totalLen, s.maxLen, s.minLen = totalLen, maxLen, minLen
+	s.pressure = set.PressureInto(s.pressure)
+	maxLive := 0
+	for _, p := range s.pressure {
+		if p > maxLive {
+			maxLive = p
+		}
+	}
+	s.maxLive = maxLive
+}
+
+// MaxLive returns the set's MaxLive lower bound, cached at Reset.
+func (s *Search) MaxLive() int { return s.maxLive }
+
+// feasible applies the cheap lower-bound prechecks for a register count:
+// every arc and the total occupied cycles must fit the torus (placed arcs
+// are disjoint, so their lengths sum to at most R*II), and no allocation
+// can use fewer than MaxLive registers. All three reject only sizes the
+// greedy placement provably fails at, so skipping them keeps results
+// identical to attempting the placement. Sets that fail
+// lifetimes.Set.Validate (non-positive lengths) never allocate.
+func (s *Search) feasible(regs int) bool {
+	if regs < 1 || s.minLen < 1 {
+		return false
+	}
+	circ := regs * s.set.II
+	return s.maxLen <= circ && s.totalLen <= circ && s.maxLive <= regs
+}
+
 // TryAllocate attempts to place all lifetimes into exactly regs registers:
 // first with adjacency (start-time) ordering, then — at tight sizes where
 // adjacency fragmentation loses a register or two — with longest-first
 // ordering. It returns the allocation, or ok=false when both orderings
 // fail at this size.
-func TryAllocate(set *lifetimes.Set, regs int, strat Strategy) (*Allocation, bool) {
-	if a, ok := tryAllocateOrdered(set, regs, strat, false); ok {
-		return a, true
-	}
-	return tryAllocateOrdered(set, regs, strat, true)
-}
-
-func tryAllocateOrdered(set *lifetimes.Set, regs int, strat Strategy, longestFirst bool) (*Allocation, bool) {
-	if regs < 1 {
+func (s *Search) TryAllocate(regs int, strat Strategy) (*Allocation, bool) {
+	if !s.Fits(regs, strat) {
 		return nil, false
 	}
-	circ := regs * set.II
-	n := len(set.Values)
+	off := make([]int, len(s.offsets))
+	copy(off, s.offsets)
+	return &Allocation{Regs: regs, II: s.set.II, Offset: off}, true
+}
 
-	// Any lifetime longer than the torus circumference cannot be placed.
-	for _, v := range set.Values {
-		if v.Len > circ {
-			return nil, false
+// Fits is TryAllocate without materializing the Allocation: it reports
+// whether the set packs into exactly regs registers, leaving the chosen
+// offsets in the Search scratch. The spill pass's fit probes use it.
+func (s *Search) Fits(regs int, strat Strategy) bool {
+	if !s.feasible(regs) {
+		return false
+	}
+	return s.place(regs, strat, false) || s.place(regs, strat, true)
+}
+
+// order returns the cached placement order, computing it on first use.
+func (s *Search) order(longestFirst bool) []int {
+	if longestFirst {
+		if !s.haveLong {
+			s.longOrder = sortOrder(s.longOrder, s.set.Values, true)
+			s.haveLong = true
 		}
+		return s.longOrder
 	}
+	if !s.haveAdj {
+		s.adjOrder = sortOrder(s.adjOrder, s.set.Values, false)
+		s.haveAdj = true
+	}
+	return s.adjOrder
+}
 
-	// Adjacency ordering: by start time, then by decreasing length, then
-	// by op for determinism. The alternative orders longest lifetimes
-	// first (they are the hardest arcs to place).
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+// sortOrder builds a placement order into buf. Adjacency ordering is by
+// start time, then by decreasing length, then by op; the alternative
+// orders longest lifetimes first (they are the hardest arcs to place).
+// The final index tie-break only matters for sets with duplicate
+// (Start, Len, Op) triples, which real lifetime sets never contain.
+func sortOrder(buf []int, vals []lifetimes.Value, longestFirst bool) []int {
+	buf = buf[:0]
+	for i := range vals {
+		buf = append(buf, i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		va, vb := set.Values[order[a]], set.Values[order[b]]
+	sort.Slice(buf, func(a, b int) bool {
+		va, vb := vals[buf[a]], vals[buf[b]]
 		if longestFirst {
 			if va.Len != vb.Len {
 				return va.Len > vb.Len
@@ -121,7 +233,10 @@ func tryAllocateOrdered(set *lifetimes.Set, regs int, strat Strategy, longestFir
 			if va.Start != vb.Start {
 				return va.Start < vb.Start
 			}
-			return va.Op < vb.Op
+			if va.Op != vb.Op {
+				return va.Op < vb.Op
+			}
+			return buf[a] < buf[b]
 		}
 		if va.Start != vb.Start {
 			return va.Start < vb.Start
@@ -129,80 +244,68 @@ func tryAllocateOrdered(set *lifetimes.Set, regs int, strat Strategy, longestFir
 		if va.Len != vb.Len {
 			return va.Len > vb.Len
 		}
-		return va.Op < vb.Op
+		if va.Op != vb.Op {
+			return va.Op < vb.Op
+		}
+		return buf[a] < buf[b]
 	})
+	return buf
+}
 
-	offsets := make([]int, n)
-	var placedArcs []arc
+// place runs one greedy packing attempt at the given size and ordering,
+// leaving the chosen offsets in s.offsets on success.
+func (s *Search) place(regs int, strat Strategy, longestFirst bool) bool {
+	set := s.set
+	ii := set.II
+	circ := regs * ii
+	order := s.order(longestFirst)
+
+	words := (circ + 63) / 64
+	if cap(s.words) < words {
+		s.words = make([]uint64, words)
+	} else {
+		s.words = s.words[:words]
+		clear(s.words)
+	}
+	if cap(s.offsets) < len(set.Values) {
+		s.offsets = make([]int, len(set.Values))
+	} else {
+		s.offsets = s.offsets[:len(set.Values)]
+	}
+	occ := torus{circ: circ, words: s.words}
 
 	for _, i := range order {
 		v := set.Values[i]
 		bestK, bestScore := -1, circ+1
+		start := mod(v.Start, circ)
 		for k := 0; k < regs; k++ {
-			cand := arc{start: mod(v.Start+k*set.II, circ), len: v.Len}
-			conflict := false
-			for _, a := range placedArcs {
-				if overlaps(cand, a, circ) {
-					conflict = true
+			if !occ.busy(start, v.Len) {
+				if strat == FirstFit {
+					bestK = k
 					break
 				}
+				// End-fit: distance from the end of the nearest
+				// preceding occupied arc to our start; smaller =
+				// snugger fit. A zero gap cannot be beaten, and ties
+				// keep the earlier offset, so stop scanning at zero.
+				if score := occ.gapBefore(start); score < bestScore {
+					bestScore, bestK = score, k
+					if bestScore == 0 {
+						break
+					}
+				}
 			}
-			if conflict {
-				continue
-			}
-			if strat == FirstFit {
-				bestK = k
-				break
-			}
-			// End-fit: distance from the end of the nearest preceding
-			// occupied arc to our start; smaller = snugger fit.
-			score := gapBefore(cand, placedArcs, circ)
-			if score < bestScore {
-				bestScore, bestK = score, k
+			if start += ii; start >= circ {
+				start -= circ
 			}
 		}
 		if bestK < 0 {
-			return nil, false
+			return false
 		}
-		offsets[i] = bestK
-		placedArcs = append(placedArcs, arc{start: mod(v.Start+bestK*set.II, circ), len: v.Len})
+		s.offsets[i] = bestK
+		occ.set(mod(v.Start+bestK*ii, circ), v.Len)
 	}
-	return &Allocation{Regs: regs, II: set.II, Offset: offsets}, true
-}
-
-// gapBefore returns the distance (mod circ) from the end of the closest
-// occupied arc that precedes cand.start to cand.start; with no arcs placed
-// it returns the full circumference (no snugness information).
-func gapBefore(cand arc, placed []arc, circ int) int {
-	best := circ
-	for _, a := range placed {
-		end := mod(a.start+a.len, circ)
-		if d := mod(cand.start-end, circ); d < best {
-			best = d
-		}
-	}
-	return best
-}
-
-// Allocate finds the smallest register count that fits, searching upward
-// from the MaxLive lower bound, and returns the allocation. maxRegs caps
-// the search; allocation failure within the cap returns an error (the
-// caller inserts spill code or raises the II).
-func Allocate(set *lifetimes.Set, maxRegs int, strat Strategy) (*Allocation, error) {
-	if err := set.Validate(); err != nil {
-		return nil, err
-	}
-	lower := set.MaxLive()
-	if lower == 0 {
-		return &Allocation{Regs: 0, II: set.II}, nil
-	}
-	for r := lower; r <= maxRegs; r++ {
-		if a, ok := TryAllocate(set, r, strat); ok {
-			return a, nil
-		}
-	}
-	return nil, fmt.Errorf("regalloc: %d lifetimes do not fit in %d registers (MaxLive %d)",
-		len(set.Values), maxRegs, lower)
+	return true
 }
 
 // MinRegs returns the smallest register count the strategy achieves,
@@ -210,11 +313,12 @@ func Allocate(set *lifetimes.Set, maxRegs int, strat Strategy) (*Allocation, err
 // a size at which the greedy placement provably succeeds (every placed arc
 // can block only a bounded number of candidate offsets of a new arc), so
 // the loop always terminates.
-func MinRegs(set *lifetimes.Set, strat Strategy) int {
-	lower := set.MaxLive()
+func (s *Search) MinRegs(strat Strategy) int {
+	lower := s.maxLive
 	if lower == 0 {
 		return 0
 	}
+	set := s.set
 	n := len(set.Values)
 	sumTurns, maxTurns := 0, 0
 	for _, v := range set.Values {
@@ -229,15 +333,171 @@ func MinRegs(set *lifetimes.Set, strat Strategy) int {
 	// a free offset for every arc in sequence.
 	cap := sumTurns + n*(maxTurns+2) + 1
 	for r := lower; r <= cap; r++ {
-		if _, ok := TryAllocate(set, r, strat); ok {
+		if s.Fits(r, strat) {
 			return r
 		}
 	}
 	return cap
 }
 
-// Validate checks that no two arcs of the allocation overlap and offsets
-// are in range.
+// Allocate finds the smallest register count that fits, searching upward
+// from the MaxLive lower bound, and returns the allocation. maxRegs caps
+// the search; allocation failure within the cap returns an error (the
+// caller inserts spill code or raises the II).
+func (s *Search) Allocate(maxRegs int, strat Strategy) (*Allocation, error) {
+	if err := s.set.Validate(); err != nil {
+		return nil, err
+	}
+	lower := s.maxLive
+	if lower == 0 {
+		return &Allocation{Regs: 0, II: s.set.II}, nil
+	}
+	for r := lower; r <= maxRegs; r++ {
+		if a, ok := s.TryAllocate(r, strat); ok {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("regalloc: %d lifetimes do not fit in %d registers (MaxLive %d)",
+		len(s.set.Values), maxRegs, lower)
+}
+
+// TryAllocate attempts to place all lifetimes into exactly regs registers.
+// Callers probing many sizes over one set should hold a Search instead.
+func TryAllocate(set *lifetimes.Set, regs int, strat Strategy) (*Allocation, bool) {
+	return NewSearch(set).TryAllocate(regs, strat)
+}
+
+// Allocate finds the smallest register count that fits within maxRegs.
+func Allocate(set *lifetimes.Set, maxRegs int, strat Strategy) (*Allocation, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return NewSearch(set).Allocate(maxRegs, strat)
+}
+
+// MinRegs returns the smallest register count the strategy achieves.
+func MinRegs(set *lifetimes.Set, strat Strategy) int {
+	return NewSearch(set).MinRegs(strat)
+}
+
+// torus is a uint64-bitset occupancy map of the allocation torus: bit p is
+// set iff cycle p of the circumference is covered by a placed arc.
+type torus struct {
+	circ  int
+	words []uint64
+}
+
+// busy reports whether any cycle of the window [start, start+length) mod
+// circ is occupied. length must be in [1, circ] and start in [0, circ).
+func (t torus) busy(start, length int) bool {
+	if end := start + length; end <= t.circ {
+		return anyBusy(t.words, start, end)
+	} else {
+		return anyBusy(t.words, start, t.circ) || anyBusy(t.words, 0, end-t.circ)
+	}
+}
+
+// set marks the window [start, start+length) mod circ occupied.
+func (t torus) set(start, length int) {
+	if end := start + length; end <= t.circ {
+		setBusy(t.words, start, end)
+	} else {
+		setBusy(t.words, start, t.circ)
+		setBusy(t.words, 0, end-t.circ)
+	}
+}
+
+// gapBefore returns the number of free cycles immediately preceding start
+// (walking backwards, wrapping), or circ when the torus is empty. When
+// start itself is free this equals the distance from the end of the
+// nearest preceding placed arc — the end-fit snugness score: the nearest
+// occupied cycle b walking backwards has b+1 free, so b+1 is exactly where
+// the arc covering b ends, and every other arc end lies at or behind it.
+func (t torus) gapBefore(start int) int {
+	if b := prevSet(t.words, 0, start-1); b >= 0 {
+		return start - 1 - b
+	}
+	if b := prevSet(t.words, start, t.circ-1); b >= 0 {
+		return start + t.circ - 1 - b
+	}
+	return t.circ
+}
+
+// wordMask returns the mask with bits [lo, hi) set; 0 <= lo < hi <= 64.
+func wordMask(lo, hi int) uint64 {
+	return (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+}
+
+// anyBusy reports whether any bit in [from, to) is set (no wrap).
+func anyBusy(words []uint64, from, to int) bool {
+	fw, lw := from>>6, (to-1)>>6
+	if fw == lw {
+		return words[fw]&wordMask(from&63, (to-1)&63+1) != 0
+	}
+	if words[fw]&wordMask(from&63, 64) != 0 {
+		return true
+	}
+	for w := fw + 1; w < lw; w++ {
+		if words[w] != 0 {
+			return true
+		}
+	}
+	return words[lw]&wordMask(0, (to-1)&63+1) != 0
+}
+
+// setBusy sets bits [from, to) (no wrap).
+func setBusy(words []uint64, from, to int) {
+	fw, lw := from>>6, (to-1)>>6
+	if fw == lw {
+		words[fw] |= wordMask(from&63, (to-1)&63+1)
+		return
+	}
+	words[fw] |= wordMask(from&63, 64)
+	for w := fw + 1; w < lw; w++ {
+		words[w] = ^uint64(0)
+	}
+	words[lw] |= wordMask(0, (to-1)&63+1)
+}
+
+// prevSet returns the largest set bit index in [lo, hi], or -1.
+func prevSet(words []uint64, lo, hi int) int {
+	if hi < lo {
+		return -1
+	}
+	fw, lw := lo>>6, hi>>6
+	w := words[lw] & wordMask(0, hi&63+1)
+	if lw == fw {
+		w &= wordMask(lo&63, 64)
+		if w == 0 {
+			return -1
+		}
+		return lw<<6 + 63 - bits.LeadingZeros64(w)
+	}
+	if w != 0 {
+		return lw<<6 + 63 - bits.LeadingZeros64(w)
+	}
+	for i := lw - 1; i > fw; i-- {
+		if words[i] != 0 {
+			return i<<6 + 63 - bits.LeadingZeros64(words[i])
+		}
+	}
+	w = words[fw] & wordMask(lo&63, 64)
+	if w == 0 {
+		return -1
+	}
+	return fw<<6 + 63 - bits.LeadingZeros64(w)
+}
+
+// valEvent is one arc endpoint of the Validate sweep.
+type valEvent struct {
+	pos   int
+	delta int8 // +1 arc starts, -1 arc ends (ends sort first at equal pos)
+	idx   int32
+}
+
+// Validate checks that offsets are in range and no two arcs of the
+// allocation overlap, by sweeping the sorted arc endpoints (coverage ever
+// reaching two means an overlap) instead of testing every pair.
 func (a *Allocation) Validate(set *lifetimes.Set) error {
 	if len(a.Offset) != len(set.Values) {
 		return fmt.Errorf("regalloc: %d offsets for %d values", len(a.Offset), len(set.Values))
@@ -249,18 +509,55 @@ func (a *Allocation) Validate(set *lifetimes.Set) error {
 		return nil
 	}
 	circ := a.Regs * a.II
-	arcs := make([]arc, len(set.Values))
+	evs := make([]valEvent, 0, 2*len(set.Values)+2)
 	for i, v := range set.Values {
 		if a.Offset[i] < 0 || a.Offset[i] >= a.Regs {
 			return fmt.Errorf("regalloc: offset %d of value %d out of range", a.Offset[i], i)
 		}
-		arcs[i] = arc{start: mod(v.Start+a.Offset[i]*a.II, circ), len: v.Len}
+		if v.Len < 1 {
+			return fmt.Errorf("regalloc: value %d has non-positive length %d", i, v.Len)
+		}
+		if v.Len > circ {
+			return fmt.Errorf("regalloc: value %d of length %d overflows the torus (%d)", i, v.Len, circ)
+		}
+		start := mod(v.Start+a.Offset[i]*a.II, circ)
+		if end := start + v.Len; end <= circ {
+			evs = append(evs,
+				valEvent{pos: start, delta: 1, idx: int32(i)},
+				valEvent{pos: end, delta: -1, idx: int32(i)})
+		} else {
+			// A wrapping arc splits into two disjoint linear intervals;
+			// they never cover the same cycle, so the arc cannot collide
+			// with itself in the sweep.
+			evs = append(evs,
+				valEvent{pos: start, delta: 1, idx: int32(i)},
+				valEvent{pos: circ, delta: -1, idx: int32(i)},
+				valEvent{pos: 0, delta: 1, idx: int32(i)},
+				valEvent{pos: end - circ, delta: -1, idx: int32(i)})
+		}
 	}
-	for i := range arcs {
-		for j := i + 1; j < len(arcs); j++ {
-			if overlaps(arcs[i], arcs[j], circ) {
-				return fmt.Errorf("regalloc: values %d and %d overlap on the torus", i, j)
+	sort.Slice(evs, func(x, y int) bool {
+		if evs[x].pos != evs[y].pos {
+			return evs[x].pos < evs[y].pos
+		}
+		return evs[x].delta < evs[y].delta
+	})
+	cover, cur := 0, int32(-1)
+	for _, e := range evs {
+		if e.delta < 0 {
+			cover--
+			continue
+		}
+		cover++
+		switch {
+		case cover == 1:
+			cur = e.idx
+		case cover >= 2:
+			i, j := cur, e.idx
+			if i > j {
+				i, j = j, i
 			}
+			return fmt.Errorf("regalloc: values %d and %d overlap on the torus", i, j)
 		}
 	}
 	return nil

@@ -60,7 +60,9 @@ func TestGrowIIFineSteps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, ok := growII(l, m, &o, 10, base.II, base.II*o.MaxIIGrowth+16)
+	var ls lifetimes.Set
+	r, ok := growII(l, m, &o, 10, base.II, base.II*o.MaxIIGrowth+16,
+		&ls, regalloc.NewSearch(&ls))
 	if ok {
 		if r.regs > 10 {
 			t.Errorf("growII returned %d regs for a 10-register file", r.regs)

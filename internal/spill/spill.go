@@ -98,6 +98,13 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 	}
 	res.BaseII = s.II
 
+	// One lifetime set and one allocator search are reused across every
+	// spill round and every candidate II of the growth fallbacks: the
+	// TryAllocate→MinRegs→growII sequence rebinds them instead of
+	// recomputing orders and reallocating scratch per probe.
+	var ls lifetimes.Set
+	search := regalloc.NewSearch(&ls)
+
 	// Spill rounds interleaved with II escalation: spilling trims long
 	// lifetimes at the price of memory traffic; raising the II floor
 	// shrinks the overlap-driven share of the pressure. Whenever a round
@@ -112,21 +119,22 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 			break // a compiler does not slow a loop down without bound
 		}
 		res.Rounds = round
-		ls := lifetimes.Compute(s)
+		lifetimes.ComputeInto(&ls, s)
+		search.Reset(&ls)
 		// Fast path: check fit at the architected size before paying for
 		// the exact minimum (the scan from MaxLive is short when it fits).
-		if _, ok := regalloc.TryAllocate(ls, avail, o.Strategy); ok {
+		if search.Fits(avail, o.Strategy) {
 			res.OK = true
 			res.Sched = s
 			res.Loop = cur
-			res.Regs = regalloc.MinRegs(ls, o.Strategy)
+			res.Regs = search.MinRegs(o.Strategy)
 			return res, nil
 		}
 		if round == o.MaxRounds {
 			break
 		}
 
-		gap := ls.MaxLive() - avail
+		gap := search.MaxLive() - avail
 		if gap < 1 {
 			gap = 1 // MaxLive fits but the packing does not: fragmentation
 		}
@@ -136,7 +144,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 			bestGap = gap
 		}
 
-		cands := candidates(cur, ls, s.Model)
+		cands := candidates(cur, &ls, s.Model)
 		if len(cands) > 0 {
 			k := gap/2 + 1
 			if k > len(cands) {
@@ -167,7 +175,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 	if alt := s.II * 2; alt > maxII {
 		maxII = alt
 	}
-	if r, ok := growII(cur, m, &o, avail, s.II+1, maxII); ok {
+	if r, ok := growII(cur, m, &o, avail, s.II+1, maxII, &ls, search); ok {
 		res.OK = true
 		res.Sched = r.sched
 		res.Loop = cur
@@ -180,7 +188,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 	// up at any II; the pristine loop's pressure always falls with the II
 	// (only recurrence values resist), so this path rescues loops the
 	// spilling dug into a hole.
-	if r, ok := growII(l, m, &o, avail, res.BaseII+1, capII); ok {
+	if r, ok := growII(l, m, &o, avail, res.BaseII+1, capII, &ls, search); ok {
 		res.OK = true
 		res.Sched = r.sched
 		res.Loop = l.Clone()
@@ -216,7 +224,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 		}
 	}
 	if stores3 > 0 {
-		if r, ok := growII(cur3, m, &o, avail, res.BaseII+1, 2*capII); ok {
+		if r, ok := growII(cur3, m, &o, avail, res.BaseII+1, 2*capII, &ls, search); ok {
 			res.OK = true
 			res.Sched = r.sched
 			res.Loop = cur3
@@ -236,25 +244,28 @@ type grown struct {
 }
 
 // growII searches for the smallest II in [startII, maxII] at which the
-// loop's allocation fits avail registers. Far from the target it steps
-// geometrically (pressure falls roughly as 1/II, so fine steps waste
-// reschedules); within two registers of fitting it steps by one, because
-// pressure is not locally monotone and a narrow fitting window is easy to
-// jump over.
-func growII(l *ddg.Loop, m machine.Machine, o *Options, avail, startII, maxII int) (grown, bool) {
+// loop's allocation fits avail registers, recomputing lifetimes into the
+// shared set and rebinding the shared search at each candidate. Far from
+// the target it steps geometrically (pressure falls roughly as 1/II, so
+// fine steps waste reschedules); within two registers of fitting it steps
+// by one, because pressure is not locally monotone and a narrow fitting
+// window is easy to jump over.
+func growII(l *ddg.Loop, m machine.Machine, o *Options, avail, startII, maxII int,
+	ls *lifetimes.Set, search *regalloc.Search) (grown, bool) {
 	for ii := startII; ii <= maxII; {
 		forced, err := sched.ModuloSchedule(l, m, &sched.Options{Order: o.Order, MinII: ii})
 		if err != nil {
 			return grown{}, false
 		}
-		ls := lifetimes.Compute(forced)
-		if _, ok := regalloc.TryAllocate(ls, avail, o.Strategy); ok {
-			return grown{sched: forced, regs: regalloc.MinRegs(ls, o.Strategy)}, true
+		lifetimes.ComputeInto(ls, forced)
+		search.Reset(ls)
+		if search.Fits(avail, o.Strategy) {
+			return grown{sched: forced, regs: search.MinRegs(o.Strategy)}, true
 		}
 		if forced.II > ii {
 			ii = forced.II // skip ahead if the scheduler already overshot
 		}
-		if ls.MaxLive() <= avail+2 {
+		if search.MaxLive() <= avail+2 {
 			ii++
 		} else {
 			ii += 1 + ii/8
