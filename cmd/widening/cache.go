@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// runCache implements the persistent result cache maintenance
+// subcommand:
+//
+//	widening cache stats -dir DIR   entries, bytes, epochs, stale debris
+//	widening cache gc    -dir DIR   drop stale-epoch entries + orphan temp files
+//	widening cache clear -dir DIR   wipe the cache entirely
+//
+// The cache itself is maintenance-free for correctness — corrupt entries
+// are detected and recomputed on read, stale epochs are never read —
+// these commands only inspect it and reclaim disk.
+func runCache(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("cache: missing subcommand (want stats, gc or clear)")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "stats", "gc", "clear":
+	default:
+		return fmt.Errorf("cache: unknown subcommand %q (want stats, gc or clear)", sub)
+	}
+	fs := flag.NewFlagSet("cache "+sub, flag.ContinueOnError)
+	dir := fs.String("dir", "", "result cache directory (required; the -cache value of experiment runs)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("cache %s: -dir is required", sub)
+	}
+	store, err := core.OpenResultCache(*dir)
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "stats":
+		u, err := store.Usage()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cache %s\n", store.Dir())
+		fmt.Printf("  entries %d (%s), format epoch %s\n", u.Entries, formatBytes(u.Bytes), core.ResultCacheEpoch)
+		fmt.Printf("  epochs on disk: %s\n", strings.Join(u.Epochs, ", "))
+		if u.StaleEntries > 0 {
+			fmt.Printf("  stale: %d file(s) (%s) reclaimable by `widening cache gc -dir %s`\n",
+				u.StaleEntries, formatBytes(u.StaleBytes), *dir)
+		}
+	case "gc":
+		removed, freed, err := store.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cache gc: removed %d file(s), freed %s\n", removed, formatBytes(freed))
+	case "clear":
+		u, _ := store.Usage()
+		if err := store.Clear(); err != nil {
+			return err
+		}
+		fmt.Printf("cache clear: removed %d file(s) (%s)\n",
+			u.Entries+u.StaleEntries, formatBytes(u.Bytes+u.StaleBytes))
+	}
+	return nil
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readTree returns name -> contents for every regular file under dir.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunCacheWarmByteIdentical: the CLI acceptance path — a second
+// identical run against a warm cache exports byte-identical artifacts.
+func TestRunCacheWarmByteIdentical(t *testing.T) {
+	cacheDir := t.TempDir()
+	cold, warm := t.TempDir(), t.TempDir()
+	args := func(out string) []string {
+		return []string{"-loops", "6", "-seed", "3", "-cache", cacheDir, "-out", out, "-format", "json,csv,txt", "fig8"}
+	}
+	if err := run(args(cold)); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if err := run(args(warm)); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	a, b := readTree(t, cold), readTree(t, warm)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("export trees differ in size: %d vs %d files", len(a), len(b))
+	}
+	for name, want := range a {
+		if got, ok := b[name]; !ok {
+			t.Errorf("warm run missing %s", name)
+		} else if got != want {
+			t.Errorf("%s differs between cold and warm runs", name)
+		}
+	}
+}
+
+// TestRunCacheSubcommand drives widening cache stats/gc/clear.
+func TestRunCacheSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-loops", "5", "-cache", dir, "fig7"}); err != nil {
+		t.Fatalf("populate: %v", err)
+	}
+	for _, sub := range []string{"stats", "gc", "clear", "stats"} {
+		if err := run([]string{"cache", sub, "-dir", dir}); err != nil {
+			t.Fatalf("cache %s: %v", sub, err)
+		}
+	}
+	if err := run([]string{"cache", "stats"}); err == nil {
+		t.Error("cache stats without -dir must error")
+	}
+	if err := run([]string{"cache", "nope", "-dir", dir}); err == nil {
+		t.Error("unknown cache subcommand must error")
+	}
+	if err := run([]string{"cache"}); err == nil {
+		t.Error("bare cache must error")
+	}
+}

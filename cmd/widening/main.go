@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	widening [-workload NAME|FILE] [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+//	widening [-workload NAME|FILE] [-loops N] [-seed S] [-cache DIR] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
 //	widening workload list | show | export | import
+//	widening cache stats | gc | clear -dir DIR
 //	widening schedule -config 4w2 -regs 64 -kernel daxpy
 //	widening bench -json
-//	widening serve -addr 127.0.0.1:8080 -budget 500000 -preload default,kernels
+//	widening serve -addr 127.0.0.1:8080 -budget 500000 -preload default,kernels -cache /var/cache/widening
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
@@ -22,9 +23,13 @@
 // the structured artifacts (JSON/CSV/plain text) next to the terminal
 // render, plus a manifest.json recording the workload provenance. The
 // full 1180-loop workbench still takes a while for fig3/fig8/fig9;
-// -loops trades fidelity for speed. `widening serve` runs the long-lived
-// HTTP/JSON design-space server over warm per-workload engines (see
-// internal/serve and the README's Serving section).
+// -loops trades fidelity for speed, and -cache makes identical re-runs
+// nearly free: sweep cells and whole artifacts are memoized in a
+// persistent content-addressed store (see internal/resultcache and the
+// README's Result cache section; `widening cache` inspects it).
+// `widening serve` runs the long-lived HTTP/JSON design-space server
+// over warm per-workload engines (see internal/serve and the README's
+// Serving section).
 package main
 
 import (
@@ -59,6 +64,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:])
 	}
+	if len(args) > 0 && args[0] == "cache" {
+		return runCache(args[1:])
+	}
 
 	fs := flag.NewFlagSet("widening", flag.ContinueOnError)
 	wl := fs.String("workload", core.DefaultWorkload,
@@ -67,6 +75,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 0, "workbench seed (0 = the workload's default)")
 	out := fs.String("out", "", "directory for structured artifact export (empty = no export)")
 	format := fs.String("format", "json,csv", "comma-separated export formats: json, csv, txt")
+	cacheDir := fs.String("cache", "",
+		"persistent result cache directory: sweep cells and whole artifacts are memoized across runs (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +109,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var store *core.ResultCache
+	if *cacheDir != "" {
+		if store, err = core.OpenResultCache(*cacheDir); err != nil {
+			return err
+		}
+		// Attach before the first run: the engine's disk layer must not
+		// appear mid-traffic, and the artifact memo needs the store in
+		// place for both the lookup and the write-back.
+		ctx.Engine.AttachCache(store)
+		ctx.Cache = store
+	}
 	if targets[0] == "all" {
 		targets = experiments.IDs()
 	}
@@ -111,6 +132,14 @@ func run(args []string) error {
 		fmt.Printf("== %s: %s\n\n%s\n", res.ID(), res.Title(), res.Render())
 	}
 	fmt.Printf("regenerated %d artifact(s) in %.1fs\n", len(results), time.Since(start).Seconds())
+	if store != nil {
+		// One greppable line proving (or disproving) the warm-cache
+		// contract: a second identical run must show zero computes.
+		cs, es := store.Stats(), ctx.Engine.Stats()
+		fmt.Printf("cache: store_hits=%d store_misses=%d writes=%d corrupt=%d bytes_read=%d bytes_written=%d engine_disk_hits=%d engine_disk_misses=%d computes_widen=%d computes_suite=%d computes_peak=%d\n",
+			cs.Hits, cs.Misses, cs.Writes, cs.Corrupt, cs.BytesRead, cs.BytesWritten,
+			es.DiskHits, es.DiskMisses, es.WidenComputes, es.SuiteComputes, es.PeakComputes)
+	}
 
 	if *out != "" {
 		artifacts := make([]sweep.Artifact, len(results))
@@ -176,12 +205,13 @@ func runSchedule(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  widening [-workload NAME|FILE] [-loops N] [-seed S] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+  widening [-workload NAME|FILE] [-loops N] [-seed S] [-cache DIR] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
   widening workload list
   widening workload show -name divheavy [-loops N] [-seed S]
   widening workload export -name divheavy [-o div.json] [-loops N] [-seed S]
   widening workload import -in div.json
+  widening cache stats|gc|clear -dir DIR
   widening schedule -config 4w2 -regs 64 -kernel daxpy|list
   widening bench [-json] [-benchtime 1x] [-workload NAME] [-run Scheduler,RegisterPressure,Table5Implementable]
-  widening serve [-addr HOST:PORT] [-budget UNITS] [-preload default,kernels] [-loops N] [-seed S]`)
+  widening serve [-addr HOST:PORT] [-budget UNITS] [-preload default,kernels] [-loops N] [-seed S] [-cache DIR]`)
 }

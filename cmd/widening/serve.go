@@ -29,6 +29,8 @@ func runServe(args []string) error {
 	preload := fs.String("preload", "", "comma-separated workloads whose engines are built at startup")
 	loops := fs.Int("loops", 0, "suite size override for registry scenarios (0 = scenario defaults)")
 	seed := fs.Int64("seed", 0, "seed override for registry scenarios (0 = scenario defaults)")
+	cacheDir := fs.String("cache", "",
+		"persistent result cache directory shared by all engines: restarts and rebuilt (evicted) engines rehydrate sweep cells from disk (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,16 +45,22 @@ func runServe(args []string) error {
 	}
 
 	srv, err := core.NewServer(core.ServeOptions{
-		Budget: *budget, Loops: *loops, Seed: *seed, Preload: pre,
+		Budget: *budget, Loops: *loops, Seed: *seed, Preload: pre, CacheDir: *cacheDir,
 	})
 	if err != nil {
-		return err
+		if srv == nil {
+			return err
+		}
+		// Partial preload failure: the named engines that did build are
+		// warm; a typo'd -preload entry must not take the whole fleet
+		// member down cold.
+		fmt.Fprintf(os.Stderr, "widening serve: warning: %v (continuing with the engines that warmed)\n", err)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "widening serve: listening on http://%s (%d engine(s) preloaded, budget %d)\n",
+	fmt.Fprintf(os.Stderr, "widening serve: listening on http://%s (%d preload target(s), budget %d)\n",
 		l.Addr(), len(pre), *budget)
 
 	sigs := make(chan os.Signal, 1)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/perfcost"
 	"repro/internal/regalloc"
+	"repro/internal/resultcache"
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/spill"
@@ -90,11 +91,32 @@ type (
 )
 
 // NewServer builds the design-space query server and warms any preloaded
-// engines.
+// engines. When some — but not all — preload entries fail, the server is
+// returned alongside the joined error so callers can continue with the
+// engines that warmed; when every entry fails, the server is nil.
 func NewServer(opts ServeOptions) (*Server, error) { return serve.New(opts) }
 
 // NewServeClient targets a running server's base URL.
 func NewServeClient(base string) *ServeClient { return serve.NewClient(base) }
+
+// Persistent result cache re-exports: the disk-backed content-addressed
+// store memoizing sweep cells and whole artifacts across processes. See
+// internal/resultcache, the -cache flags, and `widening cache`.
+type (
+	// ResultCache is the disk-backed content-addressed result store.
+	ResultCache = resultcache.Store
+	// ResultCacheStats snapshots a store's hit/miss/corruption counters.
+	ResultCacheStats = resultcache.Stats
+	// ResultCacheUsage reports a store directory's contents.
+	ResultCacheUsage = resultcache.Usage
+)
+
+// ResultCacheEpoch is the on-disk entry format version.
+const ResultCacheEpoch = resultcache.FormatEpoch
+
+// OpenResultCache opens (creating as needed) a persistent result cache
+// rooted at dir.
+func OpenResultCache(dir string) (*ResultCache, error) { return resultcache.Open(dir) }
 
 // DefaultWorkload is the name of the calibrated default scenario.
 const DefaultWorkload = workload.Default

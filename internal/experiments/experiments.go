@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/perfcost"
+	"repro/internal/resultcache"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -49,6 +50,12 @@ type Context struct {
 	Engine *perfcost.Engine
 	// Workload is the scenario the engine evaluates.
 	Workload *workload.Workload
+	// Cache, when set, memoizes whole artifacts persistently: Run serves
+	// a workbench-backed experiment's render/table/JSON envelope from the
+	// store byte-identically without invoking the driver (see
+	// resultcache). Set it before the first Run; keys derive from the
+	// engine's Fingerprint plus the loops/seed overrides.
+	Cache *resultcache.Store
 	// loops and seed record the size/seed overrides the context was built
 	// with, so cross-workload drivers (the `workloads` experiment) can
 	// build the other scenarios at a comparable scale.
@@ -147,14 +154,19 @@ func Titles() map[string]string {
 	return m
 }
 
-// Run regenerates one artifact by id.
+// Run regenerates one artifact by id, serving it from the persistent
+// artifact cache when one is attached and holds this (engine, id) cell.
 func (c *Context) Run(id string) (Result, error) {
 	for _, r := range registry {
 		if r.id == id {
+			if res, ok := c.cachedRun(r); ok {
+				return res, nil
+			}
 			res, err := r.run(c)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", r.id, err)
 			}
+			c.cachePut(r, res)
 			return res, nil
 		}
 	}

@@ -1,0 +1,194 @@
+package perfcost
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/loopgen"
+	"repro/internal/machine"
+	"repro/internal/resultcache"
+	"repro/internal/sched"
+	"repro/internal/spill"
+	"repro/internal/sweep"
+)
+
+// testLoops builds the deterministic workbench the cache tests share.
+func testLoops(t *testing.T, n int) []*ddg.Loop {
+	t.Helper()
+	p := loopgen.Defaults()
+	p.Loops = n
+	suite, err := loopgen.Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite
+}
+
+func openStore(t *testing.T) *resultcache.Store {
+	t.Helper()
+	s, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var cacheCells = []sweep.Cell{
+	{Config: cfg("2w1"), Regs: 64, Partitions: 1},
+	{Config: cfg("2w2"), Regs: 64, Partitions: 2},
+	{Config: cfg("4w1"), Regs: 128, Partitions: 1},
+}
+
+// defaultOrder is a hashable-in-name-only custom ordering: any non-nil
+// Order func must disable persistence, even one matching the default.
+func defaultOrder(l *ddg.Loop, model machine.CycleModel) []int { return nil }
+
+// TestDiskCacheWarmRunComputesNothing is the acceptance-criteria core: a
+// fresh engine over the same workload and store must answer the same
+// panel entirely from disk — zero suite/peak computes — with identical
+// points.
+func TestDiskCacheWarmRunComputesNothing(t *testing.T) {
+	loops := testLoops(t, 12)
+	store := openStore(t)
+
+	cold := New(loops, &Options{Cache: store})
+	want := cold.EvaluateMany(cacheCells)
+	peakWant := cold.PeakCycles(cfg("4w1"), machine.FourCycle)
+	cs := cold.Stats()
+	if cs.SuiteComputes == 0 || cs.DiskMisses == 0 {
+		t.Fatalf("cold stats = %+v, want real computes and disk misses", cs)
+	}
+	if cs.DiskHits != 0 {
+		t.Fatalf("cold stats = %+v, want zero disk hits on an empty store", cs)
+	}
+
+	warm := New(loops, &Options{Cache: store})
+	got := warm.EvaluateMany(cacheCells)
+	peakGot := warm.PeakCycles(cfg("4w1"), machine.FourCycle)
+	ws := warm.Stats()
+	if ws.SuiteComputes != 0 || ws.PeakComputes != 0 {
+		t.Fatalf("warm stats = %+v, want zero suite/peak computes", ws)
+	}
+	if ws.DiskHits == 0 || ws.DiskMisses != 0 {
+		t.Fatalf("warm stats = %+v, want pure disk hits", ws)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("point count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("cell %d: warm point %+v != cold point %+v", i, got[i], want[i])
+		}
+	}
+	if peakGot != peakWant {
+		t.Errorf("warm peak %v != cold peak %v", peakGot, peakWant)
+	}
+}
+
+// TestDiskCacheCorruptEntriesRecomputed corrupts every persisted entry in
+// place; a fresh engine must detect all of them and recompute identical
+// results instead of serving garbage.
+func TestDiskCacheCorruptEntriesRecomputed(t *testing.T) {
+	loops := testLoops(t, 10)
+	store := openStore(t)
+	cold := New(loops, &Options{Cache: store})
+	want := cold.EvaluateMany(cacheCells)
+
+	var corrupted int
+	err := filepath.WalkDir(filepath.Join(store.Dir(), resultcache.FormatEpoch),
+		func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			data[len(data)/2] ^= 0xFF
+			corrupted++
+			return os.WriteFile(path, data, 0o644)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("no entries persisted to corrupt")
+	}
+
+	fresh := New(loops, &Options{Cache: store})
+	got := fresh.EvaluateMany(cacheCells)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("cell %d: post-corruption point %+v != original %+v", i, got[i], want[i])
+		}
+	}
+	fs := fresh.Stats()
+	if fs.SuiteComputes == 0 {
+		t.Fatalf("fresh stats = %+v, want recomputes after corruption", fs)
+	}
+	if fs.DiskHits != 0 {
+		t.Fatalf("fresh stats = %+v, corrupt entries must never be served", fs)
+	}
+	if store.Stats().Corrupt == 0 {
+		t.Fatal("store never flagged the corrupted entries")
+	}
+}
+
+// TestFingerprintStability: equal inputs fingerprint equally; any input a
+// cached cell depends on diverges it; unhashable inputs disable
+// persistence.
+func TestFingerprintStability(t *testing.T) {
+	loops := testLoops(t, 8)
+	a := New(loops, nil).Fingerprint()
+	b := New(loops, nil).Fingerprint()
+	if a == "" || a != b {
+		t.Fatalf("same inputs: %q vs %q, want equal non-empty", a, b)
+	}
+	if c := New(testLoops(t, 9), nil).Fingerprint(); c == a {
+		t.Error("different workbench, same fingerprint")
+	}
+	if d := New(loops, &Options{Spill: &spill.Options{MaxRounds: 7}}).Fingerprint(); d == a {
+		t.Error("different spill options, same fingerprint")
+	}
+	var ord sched.OrderFunc = defaultOrder
+	if e := New(loops, &Options{Spill: &spill.Options{Order: ord}}); e.Fingerprint() != "" {
+		t.Error("custom spill ordering must disable fingerprinting")
+	}
+	// And with persistence nominally attached, nothing is written.
+	store := openStore(t)
+	e2 := New(loops, &Options{Cache: store, Spill: &spill.Options{Order: ord}})
+	e2.SuiteCycles(cfg("2w1"), 64, machine.FourCycle)
+	if st := store.Stats(); st.Writes != 0 {
+		t.Errorf("unfingerprintable engine wrote %d entries", st.Writes)
+	}
+}
+
+// TestCacheDirOption: the convenience form opens the store itself, and an
+// unopenable directory disables persistence without failing New.
+func TestCacheDirOption(t *testing.T) {
+	dir := t.TempDir()
+	loops := testLoops(t, 8)
+	e := New(loops, &Options{CacheDir: dir})
+	if e.Cache() == nil {
+		t.Fatal("CacheDir did not attach a store")
+	}
+	e.SuiteCycles(cfg("2w1"), 64, machine.FourCycle)
+	if e.Cache().Stats().Writes == 0 {
+		t.Fatal("no entries written through CacheDir store")
+	}
+
+	blocked := filepath.Join(dir, "f")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := New(loops, &Options{CacheDir: blocked})
+	if bad.Cache() != nil {
+		t.Fatal("file-as-cache-dir must disable persistence")
+	}
+	// The engine still computes correctly without persistence.
+	if r := bad.SuiteCycles(cfg("2w1"), 64, machine.FourCycle); !r.OK {
+		t.Fatalf("cacheless engine result = %+v", r)
+	}
+}

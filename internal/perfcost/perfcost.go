@@ -23,6 +23,10 @@
 package perfcost
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -32,6 +36,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/ddg"
 	"repro/internal/machine"
+	"repro/internal/resultcache"
 	"repro/internal/sched"
 	"repro/internal/spill"
 	"repro/internal/sweep"
@@ -62,9 +67,21 @@ type Engine struct {
 	suites  *sweep.Flight[suiteKey, SuiteResult]
 	peak    *sweep.Flight[peakKey, float64]
 
+	// cache is the optional persistent layer under the in-memory
+	// singleflight: suite and peak cells are looked up on disk before
+	// computing and written back after. nil disables persistence.
+	cache *resultcache.Store
+	// fp memoizes Fingerprint (the canonical content hash the disk keys
+	// derive from); "" after fpOnce means persistence is impossible
+	// (unhashable spill options) and the disk layer stays off.
+	fpOnce sync.Once
+	fp     string
+
 	widenComputes atomic.Int64
 	suiteComputes atomic.Int64
 	peakComputes  atomic.Int64
+	diskHits      atomic.Int64
+	diskMisses    atomic.Int64
 }
 
 type suiteKey struct {
@@ -85,6 +102,17 @@ type Options struct {
 	Spill *spill.Options
 	// Workers bounds parallelism (default GOMAXPROCS).
 	Workers int
+	// Cache attaches a persistent content-addressed result store: suite
+	// and peak cells are rehydrated from disk across processes (see
+	// resultcache). The serving layer shares one store across all its
+	// engines; keys derive from the engine's Fingerprint, so engines over
+	// different workloads never mix cells.
+	Cache *resultcache.Store
+	// CacheDir is the convenience form of Cache: New opens a store rooted
+	// there. An open failure disables persistence rather than failing
+	// construction (the engine computes correctly without it); callers
+	// that must surface the error open the store themselves and set Cache.
+	CacheDir string
 }
 
 // New builds an engine over the given workbench.
@@ -109,6 +137,10 @@ func New(loops []*ddg.Loop, opts *Options) *Engine {
 		if opts.Workers > 0 {
 			e.workers = opts.Workers
 		}
+		e.cache = opts.Cache
+		if e.cache == nil && opts.CacheDir != "" {
+			e.cache, _ = resultcache.Open(opts.CacheDir)
+		}
 	}
 	e.sem = make(chan struct{}, e.workers)
 	return e
@@ -124,6 +156,12 @@ type Stats struct {
 	SuiteComputes int64
 	// PeakComputes counts ILP-limit sweeps.
 	PeakComputes int64
+	// DiskHits and DiskMisses count persistent-cache lookups for suite
+	// and peak cells (both zero when no cache is attached). A cell served
+	// from disk increments DiskHits and no compute counter: a fully warm
+	// cache run shows zero computes.
+	DiskHits   int64
+	DiskMisses int64
 }
 
 // Stats returns the engine's computation counters.
@@ -132,6 +170,95 @@ func (e *Engine) Stats() Stats {
 		WidenComputes: e.widenComputes.Load(),
 		SuiteComputes: e.suiteComputes.Load(),
 		PeakComputes:  e.peakComputes.Load(),
+		DiskHits:      e.diskHits.Load(),
+		DiskMisses:    e.diskMisses.Load(),
+	}
+}
+
+// AttachCache attaches a persistent result store after construction (the
+// CLI path, where the engine is built behind the experiments context).
+// It must be called before the engine serves any request: the disk layer
+// is consulted under the singleflight, and attaching mid-traffic would
+// race those reads.
+func (e *Engine) AttachCache(store *resultcache.Store) { e.cache = store }
+
+// Cache returns the attached persistent store (nil when persistence is
+// off).
+func (e *Engine) Cache() *resultcache.Store { return e.cache }
+
+// cacheVersion is the result-schema epoch baked into every persistent
+// key: any change to scheduling, spilling, widening or cost semantics
+// that can alter a cached number must bump it, stranding all previously
+// persisted cells instead of serving them.
+const cacheVersion = "perfcost-v1"
+
+// Fingerprint returns the engine's canonical content hash: the result-
+// schema epoch, the spill options, and the loop-IR of the whole
+// workbench. Two engines with equal fingerprints compute identical suite
+// and peak cells, so the persistent cache keys on it. It returns "" when
+// the inputs cannot be hashed (a custom spill ordering function), which
+// disables persistence for the engine.
+func (e *Engine) Fingerprint() string {
+	e.fpOnce.Do(func() {
+		if e.spill != nil && e.spill.Order != nil {
+			return // unhashable: results depend on an arbitrary function
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\n", cacheVersion)
+		if e.spill != nil {
+			fmt.Fprintf(h, "spill:%d:%d:%d\n", e.spill.Strategy, e.spill.MaxRounds, e.spill.MaxIIGrowth)
+		}
+		var n [8]byte
+		for _, l := range e.loops {
+			buf, err := ddg.EncodeJSON(l)
+			if err != nil {
+				return
+			}
+			binary.LittleEndian.PutUint64(n[:], uint64(len(buf)))
+			h.Write(n[:])
+			h.Write(buf)
+		}
+		e.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return e.fp
+}
+
+// cellKey derives the persistent key for one cell in a domain ("suite"
+// or "peak"), or ok=false when persistence is off for this engine.
+func (e *Engine) cellKey(domain string, a, b, c, d int) (string, bool) {
+	if e.cache == nil {
+		return "", false
+	}
+	fp := e.Fingerprint()
+	if fp == "" {
+		return "", false
+	}
+	return resultcache.Sum(domain, fp, fmt.Sprintf("%d.%d.%d.%d", a, b, c, d)), true
+}
+
+// cacheLoad reads and decodes one cell, deleting entries that pass their
+// checksum but no longer decode (schema drift the epoch failed to
+// catch). out must be a pointer.
+func (e *Engine) cacheLoad(key string, out any) bool {
+	data, ok := e.cache.Get(key)
+	if !ok {
+		e.diskMisses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		e.cache.Delete(key)
+		e.diskMisses.Add(1)
+		return false
+	}
+	e.diskHits.Add(1)
+	return true
+}
+
+// cacheStore encodes and writes one cell. Write failures are ignored:
+// persistence is an accelerator, never a correctness dependency.
+func (e *Engine) cacheStore(key string, v any) {
+	if data, err := json.Marshal(v); err == nil {
+		e.cache.Put(key, data)
 	}
 }
 
@@ -251,7 +378,20 @@ type SuiteResult struct {
 func (e *Engine) SuiteCycles(c machine.Config, regs int, model machine.CycleModel) SuiteResult {
 	key := suiteKey{c.Buses, c.Width, regs, model.Z}
 	return e.suites.Do(key, func() SuiteResult {
-		return e.computeSuite(c, regs, model)
+		// Disk layer under the singleflight: at most one goroutine per
+		// cell reads or writes the persistent store.
+		dk, persist := e.cellKey("suite", key.buses, key.width, key.regs, key.z)
+		if persist {
+			var r SuiteResult
+			if e.cacheLoad(dk, &r) {
+				return r
+			}
+		}
+		r := e.computeSuite(c, regs, model)
+		if persist {
+			e.cacheStore(dk, r)
+		}
+		return r
 	})
 }
 
@@ -313,6 +453,13 @@ func (e *Engine) computeSuite(c machine.Config, regs int, model machine.CycleMod
 func (e *Engine) PeakCycles(c machine.Config, model machine.CycleModel) float64 {
 	key := peakKey{c.Buses, c.Width, model.Z}
 	return e.peak.Do(key, func() float64 {
+		dk, persist := e.cellKey("peak", key.buses, key.width, key.z, 0)
+		if persist {
+			var v float64
+			if e.cacheLoad(dk, &v) {
+				return v
+			}
+		}
 		e.peakComputes.Add(1)
 		loops := e.widenedLoops(c.Width)
 		cycles := make([]float64, len(loops))
@@ -324,6 +471,9 @@ func (e *Engine) PeakCycles(c machine.Config, model machine.CycleModel) float64 
 		var total float64
 		for _, v := range cycles {
 			total += v
+		}
+		if persist {
+			e.cacheStore(dk, total)
 		}
 		return total
 	})

@@ -1,0 +1,359 @@
+// Package resultcache is the persistent, content-addressed result store
+// behind the design-space engine: every sweep cell and experiment
+// artifact is a pure function of (loop-IR suite, machine configuration,
+// cycle model, code version), so once computed it can outlive the
+// process. The serving layer rehydrates evicted engines from it, CI
+// diffs frontiers across runs with it, and repeated `widening -out`
+// regenerations against a warm directory skip the scheduler entirely.
+//
+// The store is a flat keyspace of checksummed entries:
+//
+//	<dir>/<format-epoch>/<key[:2]>/<key>
+//
+// where key is a hex SHA-256 the caller derives from the full content of
+// the computation's inputs (see Sum). Entries are written atomically
+// (temp file in the destination directory + rename), so readers never
+// observe a half-written file under POSIX semantics; a torn or corrupted
+// entry — wrong length, wrong payload checksum, unparseable header,
+// mismatched key or epoch — is detected on read, deleted, and reported
+// as a miss, never served. Two writers racing on one key both write
+// valid entries and the last rename wins.
+//
+// Invalidation is by epoch, at two levels: FormatEpoch versions the
+// on-disk entry layout (old layouts are never read and `widening cache
+// gc` removes them), and callers bake their own result-schema version
+// into the hashed key (see perfcost's cache version), so a semantics
+// change strands the old entries rather than serving them.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// FormatEpoch versions the entry file layout. Bumping it orphans every
+// existing entry (they live under the old epoch directory and are never
+// read); `widening cache gc` reclaims the space.
+const FormatEpoch = "v1"
+
+// Store is a disk-backed content-addressed result store. All methods are
+// safe for concurrent use by multiple goroutines and multiple processes
+// sharing the directory.
+type Store struct {
+	dir string
+
+	hits, misses, writes, corrupt atomic.Int64
+	bytesRead, bytesWritten       atomic.Int64
+}
+
+// Open returns a store rooted at dir, creating the directory as needed.
+// The directory is dedicated to the cache: Clear removes everything
+// under it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty cache directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, FormatEpoch), 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Sum derives a cache key: the hex SHA-256 of the parts, each
+// length-prefixed so part boundaries cannot collide ("ab","c" hashes
+// differently from "a","bc").
+func Sum(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// header is the first line of an entry file; the payload follows the
+// newline. Len and SHA256 checksum the payload; Key and Epoch detect
+// files renamed or copied into the wrong slot.
+type header struct {
+	Epoch  string `json:"epoch"`
+	Key    string `json:"key"`
+	Len    int64  `json:"len"`
+	SHA256 string `json:"sha256"`
+}
+
+// path maps a key to its entry file, rejecting keys that are not hex
+// digests (they would escape the layout).
+func (s *Store) path(key string) (string, error) {
+	if len(key) != 2*sha256.Size {
+		return "", fmt.Errorf("resultcache: key %q is not a sha256 digest", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("resultcache: key %q is not lower-case hex", key)
+		}
+	}
+	return filepath.Join(s.dir, FormatEpoch, key[:2], key), nil
+}
+
+// Get returns the payload stored under key. A missing entry is a miss; a
+// torn or corrupt entry (bad header, wrong epoch/key/length/checksum) is
+// deleted, counted, and reported as a miss so the caller recomputes —
+// a damaged cache can cost time but never correctness.
+func (s *Store) Get(key string) ([]byte, bool) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decodeEntry(key, data)
+	if !ok {
+		os.Remove(p)
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	return payload, true
+}
+
+func decodeEntry(key string, data []byte) ([]byte, bool) {
+	nl := -1
+	for i, c := range data {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, false
+	}
+	var h header
+	if err := json.Unmarshal(data[:nl], &h); err != nil {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	if h.Epoch != FormatEpoch || h.Key != key || h.Len != int64(len(payload)) {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if h.SHA256 != hex.EncodeToString(sum[:]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores payload under key atomically: the entry is staged as a temp
+// file in the destination directory, synced, and renamed into place, so
+// a crash mid-write leaves at worst an orphan temp file (reclaimed by
+// GC), never a half-written entry under the key.
+func (s *Store) Put(key string, payload []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("resultcache: put %s: %w", key[:12], err)
+	}
+	sum := sha256.Sum256(payload)
+	hdr, err := json.Marshal(header{
+		Epoch:  FormatEpoch,
+		Key:    key,
+		Len:    int64(len(payload)),
+		SHA256: hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return fmt.Errorf("resultcache: put %s: %w", key[:12], err)
+	}
+	f, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: put %s: %w", key[:12], err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultcache: put %s: %w", key[:12], err)
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resultcache: put %s: %w", key[:12], err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("resultcache: put %s: %w", key[:12], err)
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(hdr) + 1 + len(payload)))
+	return nil
+}
+
+// Delete removes the entry under key, if any. Callers use it when an
+// entry passes its checksum but no longer decodes (schema drift the
+// epoch failed to catch).
+func (s *Store) Delete(key string) {
+	if p, err := s.path(key); err == nil {
+		os.Remove(p)
+	}
+}
+
+// Stats is a snapshot of the store's in-process counters (per-Store, not
+// per-directory: a second process on the same directory keeps its own).
+type Stats struct {
+	// Hits and Misses count Get outcomes; Writes counts completed Puts.
+	Hits, Misses, Writes int64
+	// Corrupt counts torn or checksum-failed entries detected by Get and
+	// deleted (each also counts as a miss).
+	Corrupt int64
+	// BytesRead and BytesWritten total the entry file sizes moved.
+	BytesRead, BytesWritten int64
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Writes:       s.writes.Load(),
+		Corrupt:      s.corrupt.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+// Usage is a walk of the store's directory: what is live under the
+// current format epoch and what is stale (old epochs, orphan temp
+// files) that GC would reclaim.
+type Usage struct {
+	// Entries and Bytes cover the current epoch's committed entries.
+	Entries int
+	Bytes   int64
+	// Epochs lists the epoch directories present, sorted.
+	Epochs []string
+	// StaleEntries and StaleBytes cover old-epoch files and orphan temp
+	// files.
+	StaleEntries int
+	StaleBytes   int64
+}
+
+// Usage walks the directory and reports its contents.
+func (s *Store) Usage() (Usage, error) {
+	var u Usage
+	tops, err := os.ReadDir(s.dir)
+	if err != nil {
+		return u, fmt.Errorf("resultcache: usage: %w", err)
+	}
+	for _, top := range tops {
+		if !top.IsDir() {
+			// A stray file at the root (never written by the store).
+			if info, err := top.Info(); err == nil {
+				u.StaleEntries++
+				u.StaleBytes += info.Size()
+			}
+			continue
+		}
+		u.Epochs = append(u.Epochs, top.Name())
+		live := top.Name() == FormatEpoch
+		root := filepath.Join(s.dir, top.Name())
+		err := filepath.WalkDir(root, func(_ string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			info, err := d.Info()
+			if err != nil {
+				return nil // removed while walking
+			}
+			if live && !strings.HasPrefix(d.Name(), ".tmp-") {
+				u.Entries++
+				u.Bytes += info.Size()
+			} else {
+				u.StaleEntries++
+				u.StaleBytes += info.Size()
+			}
+			return nil
+		})
+		if err != nil {
+			return u, fmt.Errorf("resultcache: usage: %w", err)
+		}
+	}
+	sort.Strings(u.Epochs)
+	return u, nil
+}
+
+// GC removes everything a current reader can never use: entire stale
+// epoch directories and orphan temp files left by crashed writers. It
+// returns the number of files removed and bytes freed.
+func (s *Store) GC() (removed int, freed int64, err error) {
+	tops, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("resultcache: gc: %w", err)
+	}
+	for _, top := range tops {
+		root := filepath.Join(s.dir, top.Name())
+		stale := top.Name() != FormatEpoch
+		if !top.IsDir() {
+			stale = true
+		}
+		walkErr := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			if !stale && !strings.HasPrefix(d.Name(), ".tmp-") {
+				return nil
+			}
+			if info, err := d.Info(); err == nil {
+				if os.Remove(p) == nil {
+					removed++
+					freed += info.Size()
+				}
+			}
+			return nil
+		})
+		if walkErr != nil {
+			return removed, freed, fmt.Errorf("resultcache: gc: %w", walkErr)
+		}
+		if stale {
+			os.RemoveAll(root) // now-empty directory tree (or the stray file)
+		}
+	}
+	return removed, freed, nil
+}
+
+// Clear removes every entry, all epochs included, and re-creates the
+// empty store layout. The directory must be dedicated to the cache.
+func (s *Store) Clear() error {
+	if err := os.RemoveAll(s.dir); err != nil {
+		return fmt.Errorf("resultcache: clear: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(s.dir, FormatEpoch), 0o755); err != nil {
+		return fmt.Errorf("resultcache: clear: %w", err)
+	}
+	return nil
+}

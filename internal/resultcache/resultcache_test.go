@@ -1,0 +1,316 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSumBoundaries(t *testing.T) {
+	if Sum("ab", "c") == Sum("a", "bc") {
+		t.Fatal("part boundaries must not collide")
+	}
+	if Sum("x") != Sum("x") {
+		t.Fatal("Sum must be deterministic")
+	}
+	if len(Sum()) != 64 {
+		t.Fatalf("Sum() length = %d, want 64 hex chars", len(Sum()))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := openT(t)
+	key := Sum("suite", "payload-1")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte(`{"cycles": 123.456, "ok": true}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q/%v, want the stored payload", got, ok)
+	}
+	// Overwrite wins.
+	if err := s.Put(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(key); string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q, want v2", got)
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Writes != 2 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 2 writes", st)
+	}
+	if st.BytesRead == 0 || st.BytesWritten == 0 {
+		t.Fatalf("stats = %+v, want byte counters moving", st)
+	}
+}
+
+func TestEmptyPayloadRoundTrips(t *testing.T) {
+	s := openT(t)
+	key := Sum("empty")
+	if err := s.Put(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload Get = %q/%v, want hit with empty payload", got, ok)
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	s := openT(t)
+	for _, key := range []string{"", "short", "../../../../etc/passwd", Sum("x")[:63] + "Z"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a non-digest key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit on a non-digest key", key)
+		}
+	}
+}
+
+// entryPath locates the single entry file for a key (test helper).
+func entryPath(t *testing.T, s *Store, key string) string {
+	t.Helper()
+	p := filepath.Join(s.dir, FormatEpoch, key[:2], key)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry file for %s: %v", key[:12], err)
+	}
+	return p
+}
+
+// TestTornEntryRecovers: a truncated (torn) entry file must read as a
+// miss, be deleted, and allow a clean re-Put — the crash-mid-write
+// story, even though rename makes it near-impossible on one filesystem.
+func TestTornEntryRecovers(t *testing.T) {
+	for _, keep := range []int{0, 3, 40} { // empty file, inside header, inside payload
+		s := openT(t)
+		key := Sum("torn", fmt.Sprint(keep))
+		if err := s.Put(key, []byte("the full payload, long enough to truncate meaningfully")); err != nil {
+			t.Fatal(err)
+		}
+		p := entryPath(t, s, key)
+		if err := os.Truncate(p, int64(keep)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("keep=%d: torn entry served", keep)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("keep=%d: torn entry not deleted (err=%v)", keep, err)
+		}
+		if s.Stats().Corrupt != 1 {
+			t.Fatalf("keep=%d: corrupt counter = %d, want 1", keep, s.Stats().Corrupt)
+		}
+		// Recompute-and-store recovers the slot.
+		if err := s.Put(key, []byte("recomputed")); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(key); !ok || string(got) != "recomputed" {
+			t.Fatalf("keep=%d: recovery Get = %q/%v", keep, got, ok)
+		}
+	}
+}
+
+// TestChecksumMismatchRecovers: a bit-flip inside the payload fails the
+// SHA-256 check and is dropped, never served.
+func TestChecksumMismatchRecovers(t *testing.T) {
+	s := openT(t)
+	key := Sum("flip")
+	if err := s.Put(key, []byte("pristine payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	p := entryPath(t, s, key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("checksum-failed entry served")
+	}
+	if s.Stats().Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", s.Stats().Corrupt)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("checksum-failed entry not deleted")
+	}
+}
+
+// TestWrongSlotRejected: an entry copied under a different key (or a
+// header lying about its key) is rejected by the key echo.
+func TestWrongSlotRejected(t *testing.T) {
+	s := openT(t)
+	a, b := Sum("a"), Sum("b")
+	if err := s.Put(a, []byte("payload of a")); err != nil {
+		t.Fatal(err)
+	}
+	src := entryPath(t, s, a)
+	dst := filepath.Join(s.dir, FormatEpoch, b[:2], b)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(src)
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(b); ok {
+		t.Fatal("entry in the wrong slot served")
+	}
+	if got, ok := s.Get(a); !ok || string(got) != "payload of a" {
+		t.Fatalf("original slot damaged: %q/%v", got, ok)
+	}
+}
+
+// TestConcurrentWritersOneKey hammers one key from many goroutines under
+// -race: every Get must return one of the written payloads intact (never
+// a torn mix), and the store must end consistent.
+func TestConcurrentWritersOneKey(t *testing.T) {
+	s := openT(t)
+	key := Sum("contended")
+	valid := func(b []byte) bool {
+		if len(b) < 8 {
+			return false
+		}
+		for i := range 8 {
+			if b[i] != b[0] {
+				return false
+			}
+		}
+		return true
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('A' + g)}, 8)
+			for i := 0; i < 25; i++ {
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+				if got, ok := s.Get(key); ok && !valid(got) {
+					t.Errorf("torn read: %q", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, ok := s.Get(key)
+	if !ok || !valid(got) {
+		t.Fatalf("final Get = %q/%v, want one intact payload", got, ok)
+	}
+	if s.Stats().Corrupt != 0 {
+		t.Fatalf("corrupt = %d, want 0 (atomic rename must prevent torn entries)", s.Stats().Corrupt)
+	}
+}
+
+// TestEpochInvalidation: entries under another format epoch are
+// invisible — the version bump strands them rather than serving them —
+// and GC reclaims the space.
+func TestEpochInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Sum("cell")
+	if err := s.Put(key, []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a stale epoch holding the same key (as if written by older
+	// code) plus an orphan temp file from a crashed writer.
+	stale := filepath.Join(dir, "v0", key[:2])
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(stale, key), []byte("ancient"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, FormatEpoch, key[:2], ".tmp-crashed")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := s.Get(key); !ok || string(got) != "live" {
+		t.Fatalf("Get = %q/%v, want the current-epoch entry", got, ok)
+	}
+	u, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Entries != 1 || u.StaleEntries != 2 || len(u.Epochs) != 2 {
+		t.Fatalf("usage = %+v, want 1 live, 2 stale, 2 epochs", u)
+	}
+	removed, freed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || freed == 0 {
+		t.Fatalf("gc removed %d files (%d bytes), want the 2 stale ones", removed, freed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v0")); !os.IsNotExist(err) {
+		t.Fatal("stale epoch directory survived gc")
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "live" {
+		t.Fatalf("after gc Get = %q/%v, want the live entry untouched", got, ok)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := openT(t)
+	for i := range 5 {
+		if err := s.Put(Sum("k", fmt.Sprint(i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Entries != 0 || u.StaleEntries != 0 {
+		t.Fatalf("usage after clear = %+v, want empty", u)
+	}
+	// The store remains usable.
+	if err := s.Put(Sum("k", "0"), []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(Sum("k", "0")); !ok {
+		t.Fatal("store unusable after clear")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := openT(t)
+	key := Sum("gone")
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(key)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("deleted entry served")
+	}
+}

@@ -114,10 +114,21 @@ type SweepRequest struct {
 
 // SweepResponse is the POST /v1/sweep body (non-streaming form). With
 // ?stream=1 the response is instead NDJSON: one Point per line, in
-// submission order.
+// submission order, terminated by a SweepTrailer line.
 type SweepResponse struct {
 	Workload string  `json:"workload"`
 	Points   []Point `json:"points"`
+}
+
+// SweepTrailer is the final line of an NDJSON sweep stream:
+// {"done":true,"points":N}. Its presence is the completion signal — a
+// stream that ends without it was truncated (the connection dropped or
+// the server failed mid-sweep), which the client reports instead of
+// passing a short sweep off as success. Points counts the Point lines
+// that preceded it, so a lost middle line is also detected.
+type SweepTrailer struct {
+	Done   bool `json:"done"`
+	Points int  `json:"points"`
 }
 
 // EngineStats describes one warm engine in /v1/stats.
@@ -135,6 +146,28 @@ type EngineStats struct {
 	WidenComputes int64 `json:"widen_computes"`
 	SuiteComputes int64 `json:"suite_computes"`
 	PeakComputes  int64 `json:"peak_computes"`
+	// DiskHits and DiskMisses count the engine's persistent-cache
+	// lookups (zero when the server runs without -cache). A rebuilt
+	// engine rehydrating evicted cells from disk shows hits with zero
+	// suite computes.
+	DiskHits   int64 `json:"disk_hits,omitempty"`
+	DiskMisses int64 `json:"disk_misses,omitempty"`
+}
+
+// CacheStats reports the server's persistent result store in /v1/stats
+// (present only when the server was started with a cache directory).
+type CacheStats struct {
+	Dir string `json:"dir"`
+	// Hits/Misses count entry reads across all engines and artifact
+	// lookups; Writes counts persisted entries; Corrupt counts torn or
+	// checksum-failed entries detected and deleted.
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Writes  int64 `json:"writes"`
+	Corrupt int64 `json:"corrupt"`
+	// BytesRead and BytesWritten total the entry traffic.
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
 }
 
 // StatsResponse is the GET /v1/stats body.
@@ -154,4 +187,6 @@ type StatsResponse struct {
 	// Engines lists the warm engines in least- to most-recently-used
 	// order.
 	Engines []EngineStats `json:"engines"`
+	// Cache reports the persistent result store, when one is attached.
+	Cache *CacheStats `json:"cache,omitempty"`
 }

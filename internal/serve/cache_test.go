@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeStreamServer serves a canned NDJSON body for any request.
+func fakeStreamServer(t *testing.T, body string) *Client {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return NewClientHTTP(ts.URL, ts.Client())
+}
+
+// TestSweepStreamTruncatedDetected: a stream that ends without the
+// {"done":true} trailer — a server crash or proxy cutoff — must surface
+// as an error, never as a silently short result.
+func TestSweepStreamTruncatedDetected(t *testing.T) {
+	c := fakeStreamServer(t, `{"label":"a"}`+"\n"+`{"label":"b"}`+"\n")
+	var got int
+	err := c.SweepStream(context.Background(), SweepRequest{}, func(p Point) error {
+		got++
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want a truncation error", err)
+	}
+	if got != 2 {
+		t.Errorf("delivered %d points before the error, want 2", got)
+	}
+}
+
+// TestSweepStreamTrailerCountMismatch: a trailer whose count disagrees
+// with the delivered points means lines were lost in transit.
+func TestSweepStreamTrailerCountMismatch(t *testing.T) {
+	c := fakeStreamServer(t, `{"label":"a"}`+"\n"+`{"done":true,"points":5}`+"\n")
+	err := c.SweepStream(context.Background(), SweepRequest{}, func(Point) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "lost points") {
+		t.Fatalf("err = %v, want a lost-points error", err)
+	}
+}
+
+// TestSweepStreamOversizedLine: a line beyond the scanner limit is
+// reported as a protocol problem, not a bare bufio.ErrTooLong.
+func TestSweepStreamOversizedLine(t *testing.T) {
+	c := fakeStreamServer(t, `{"label":"`+strings.Repeat("x", maxStreamLine+16)+`"}`+"\n")
+	err := c.SweepStream(context.Background(), SweepRequest{}, func(Point) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want an oversized-line error", err)
+	}
+}
+
+// TestSweepStreamTrailerOverRealServer: the real handler terminates its
+// stream with an accurate trailer (the happy path of the protocol).
+func TestSweepStreamTrailerOverRealServer(t *testing.T) {
+	c := testClient(t, Options{})
+	req := SweepRequest{
+		Workload: "kernels",
+		Cells:    []SweepCell{{Config: "1w1", Regs: 32}, {Config: "2w1", Regs: 64}},
+	}
+	var got int
+	if err := c.SweepStream(context.Background(), req, func(Point) error { got++; return nil }); err != nil {
+		t.Fatalf("stream over real server: %v", err)
+	}
+	if got != len(req.Cells) {
+		t.Errorf("streamed %d points, want %d", got, len(req.Cells))
+	}
+}
+
+// TestServerPreloadPartialFailure: one bad name in the preload list must
+// not leave the whole fleet member cold — the good engines warm, and the
+// joined error names the failure.
+func TestServerPreloadPartialFailure(t *testing.T) {
+	s, err := New(Options{Loops: 6, Seed: 1, Preload: []string{"default", "nope", "kernels"}})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v, want a preload error naming nope", err)
+	}
+	if s == nil {
+		t.Fatal("partial preload failure must still return the server")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClientHTTP(ts.URL, ts.Client())
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Engines) != 2 {
+		t.Fatalf("%d engines warm after partial preload, want the 2 good ones", len(st.Engines))
+	}
+	// Total preload failure warms nothing: construction fails outright.
+	if s2, err := New(Options{Loops: 6, Seed: 1, Preload: []string{"nope", "also-nope"}}); err == nil || s2 != nil {
+		t.Errorf("all-fail preload returned server=%v err=%v, want nil server and an error", s2, err)
+	}
+}
+
+// TestServerCacheRehydratesEvictedEngines: with a shared persistent
+// store, an engine rebuilt after LRU eviction answers from disk — zero
+// suite computes — and /v1/stats reports both the disk traffic and the
+// store block.
+func TestServerCacheRehydratesEvictedEngines(t *testing.T) {
+	dir := t.TempDir()
+	c := testClient(t, Options{Budget: 1, CacheDir: dir})
+	ctx := context.Background()
+	// Warm default (populating the store), then roll it out of the LRU.
+	for _, wl := range []string{"default", "divheavy", "strided"} {
+		if _, err := c.Eval(ctx, EvalRequest{Workload: wl, Config: "1w2", Regs: 64}); err != nil {
+			t.Fatalf("eval %s: %v", wl, err)
+		}
+	}
+	// This rebuild must rehydrate from disk.
+	if _, err := c.Eval(ctx, EvalRequest{Workload: "default", Config: "1w2", Regs: 64}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evictions < 2 {
+		t.Fatalf("evictions = %d, the budget did not force rebuilds", st.Evictions)
+	}
+	var found bool
+	for _, e := range st.Engines {
+		if e.Workload != "default" {
+			continue
+		}
+		found = true
+		if e.DiskHits == 0 {
+			t.Errorf("rehydrated engine stats = %+v, want disk hits", e)
+		}
+		if e.SuiteComputes != 0 {
+			t.Errorf("rehydrated engine recomputed %d suites, want 0 (all cells persisted)", e.SuiteComputes)
+		}
+	}
+	if !found {
+		t.Fatal("default engine not warm after rehydration eval")
+	}
+	if st.Cache == nil {
+		t.Fatal("stats missing the cache block")
+	}
+	if st.Cache.Dir == "" || st.Cache.Writes == 0 || st.Cache.Hits == 0 {
+		t.Errorf("cache stats = %+v, want dir, writes and hits", st.Cache)
+	}
+}

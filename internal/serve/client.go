@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -102,8 +103,16 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, er
 	return out, c.post(ctx, "/v1/sweep", body, &out)
 }
 
+// maxStreamLine bounds one NDJSON line of a sweep stream.
+const maxStreamLine = 1 << 20
+
 // SweepStream calls POST /v1/sweep?stream=1 and invokes fn for each
-// point as it arrives, in submission order.
+// point as it arrives, in submission order. The server terminates the
+// stream with a SweepTrailer line; a stream that ends without one — or
+// whose trailer counts more points than arrived — is reported as
+// truncated rather than returned as a short success (the regression this
+// guards: a connection dropped mid-sweep used to look exactly like a
+// completed sweep).
 func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Point) error) error {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -115,8 +124,19 @@ func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Poin
 	}
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	received := 0
 	for sc.Scan() {
+		// The trailer probe runs first: a Point line decodes into
+		// SweepTrailer with Done=false (no "done" key), and a trailer
+		// line would otherwise decode into a zero Point.
+		var t SweepTrailer
+		if json.Unmarshal(sc.Bytes(), &t) == nil && t.Done {
+			if t.Points != received {
+				return fmt.Errorf("serve: sweep stream lost points: trailer reports %d, received %d", t.Points, received)
+			}
+			return nil
+		}
 		var p Point
 		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
 			return fmt.Errorf("serve: decode stream line: %w", err)
@@ -124,8 +144,15 @@ func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Poin
 		if err := fn(p); err != nil {
 			return err
 		}
+		received++
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("serve: sweep stream line exceeds %d bytes (server and client disagree on the protocol?): %w", maxStreamLine, err)
+		}
+		return fmt.Errorf("serve: sweep stream read after %d point(s): %w", received, err)
+	}
+	return fmt.Errorf("serve: sweep stream truncated: connection closed after %d point(s) with no terminator", received)
 }
 
 // ExperimentResponse is the experiment envelope (the artifact's canonical

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/perfcost"
+	"repro/internal/resultcache"
 	"repro/internal/workload"
 )
 
@@ -27,6 +28,11 @@ type ManagerOptions struct {
 	// suites and ignore both.
 	Loops int
 	Seed  int64
+	// Cache is the shared persistent result store attached to every
+	// engine the manager builds (nil = in-memory caches only). An evicted
+	// engine's cells survive in the store, so the rebuild after a
+	// re-acquire rehydrates from disk instead of rescheduling.
+	Cache *resultcache.Store
 }
 
 // Manager holds warm engines keyed by workload name. Engine construction
@@ -140,7 +146,11 @@ func (m *Manager) Acquire(name string) (*Handle, error) {
 			e.wl, e.err = workload.Build(name, m.opts.Loops, m.opts.Seed)
 		}
 		if e.err == nil {
-			e.eng = perfcost.NewFromWorkload(e.wl, nil)
+			var opts *perfcost.Options
+			if m.opts.Cache != nil {
+				opts = &perfcost.Options{Cache: m.opts.Cache}
+			}
+			e.eng = perfcost.NewFromWorkload(e.wl, opts)
 		}
 		close(e.ready)
 	}
@@ -211,16 +221,24 @@ func (m *Manager) Imported() []*workload.Workload {
 	return out
 }
 
-// Preload warms engines for the named workloads, one at a time.
-func (m *Manager) Preload(names []string) error {
+// Preload warms engines for the named workloads, one at a time, and
+// returns how many warmed. A failing name no longer aborts the sweep:
+// every remaining engine is still warmed, and the failures come back
+// joined (errors.Join), so one bad -preload entry costs one cold engine
+// instead of all of them.
+func (m *Manager) Preload(names []string) (int, error) {
+	var errs []error
+	warmed := 0
 	for _, name := range names {
 		h, err := m.Acquire(name)
 		if err != nil {
-			return fmt.Errorf("serve: preload %s: %w", name, err)
+			errs = append(errs, fmt.Errorf("serve: preload %s: %w", name, err))
+			continue
 		}
 		h.Release()
+		warmed++
 	}
-	return nil
+	return warmed, errors.Join(errs...)
 }
 
 // ManagerStats is a snapshot of the cache counters and the warm engines.
@@ -261,6 +279,8 @@ func (m *Manager) Stats() ManagerStats {
 			WidenComputes: es.WidenComputes,
 			SuiteComputes: es.SuiteComputes,
 			PeakComputes:  es.PeakComputes,
+			DiskHits:      es.DiskHits,
+			DiskMisses:    es.DiskMisses,
 		})
 	}
 	return s

@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/perfcost"
+	"repro/internal/resultcache"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -28,6 +29,13 @@ type Options struct {
 	// Preload lists workloads whose engines are built at startup, so the
 	// first request pays no synthesis or scheduling latency.
 	Preload []string
+	// CacheDir roots the persistent result cache: every engine the server
+	// builds shares one content-addressed store there, so a restarted (or
+	// evicted-and-rebuilt) engine rehydrates its cells from disk instead
+	// of rescheduling. Empty disables persistence. Cache overrides
+	// CacheDir with an already-open store (embedders, tests).
+	CacheDir string
+	Cache    *resultcache.Store
 }
 
 // Server is the long-lived design-space query service: an http.Handler
@@ -36,16 +44,30 @@ type Options struct {
 type Server struct {
 	opts    Options
 	mgr     *Manager
+	cache   *resultcache.Store
 	mux     *http.ServeMux
 	hs      *http.Server
 	started time.Time
 }
 
-// New builds a server and warms the preloaded engines.
+// New builds a server and warms the preloaded engines. When some — but
+// not all — preload entries fail, the server is still returned alongside
+// the joined error (see Manager.Preload): callers that can tolerate
+// partial warm-start keep serving with the engines that built, and
+// callers that cannot treat the error as fatal as before. When every
+// preload entry fails, nothing warmed and New fails outright.
 func New(opts Options) (*Server, error) {
+	cache := opts.Cache
+	if cache == nil && opts.CacheDir != "" {
+		var err error
+		if cache, err = resultcache.Open(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		opts:    opts,
-		mgr:     NewManager(ManagerOptions{Budget: opts.Budget, Loops: opts.Loops, Seed: opts.Seed}),
+		mgr:     NewManager(ManagerOptions{Budget: opts.Budget, Loops: opts.Loops, Seed: opts.Seed, Cache: cache}),
+		cache:   cache,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
@@ -62,8 +84,11 @@ func New(opts Options) (*Server, error) {
 			r.URL.Path)
 	})
 	s.hs = &http.Server{Handler: s.mux}
-	if err := s.mgr.Preload(opts.Preload); err != nil {
-		return nil, err
+	if warmed, err := s.mgr.Preload(opts.Preload); err != nil {
+		if warmed == 0 {
+			return nil, err
+		}
+		return s, err
 	}
 	return s, nil
 }
@@ -239,20 +264,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	if streaming(r) {
 		// NDJSON: one point per line, in submission order, flushed as each
-		// cell completes so slow sweeps render incrementally.
+		// cell completes so slow sweeps render incrementally. The stream
+		// ends with a SweepTrailer line — without it (encode failure,
+		// dropped connection) the client knows the sweep was truncated
+		// instead of mistaking the prefix for a complete result.
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		enc := json.NewEncoder(w)
 		flusher, _ := w.(http.Flusher)
+		sent := 0
 		for i, c := range req.Cells {
 			p, _ := evalCell(eng, cfgs[i], c.Regs, max(c.Partitions, 1), c.Z)
 			if err := enc.Encode(p); err != nil {
 				return
 			}
+			sent++
 			if flusher != nil {
 				flusher.Flush()
 			}
 		}
+		enc.Encode(SweepTrailer{Done: true, Points: sent})
 		return
 	}
 
@@ -308,6 +339,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		defer h.Release()
 		ctx = experiments.NewContextOver(h.Engine(), h.Workload(), s.opts.Loops, s.opts.Seed)
+		// A served artifact is memoized whole: the next request — or a
+		// rebuilt engine after eviction, or a fresh server on the same
+		// cache dir — answers from disk without touching the scheduler.
+		ctx.Cache = s.cache
 	}
 	res, err := ctx.Run(id)
 	if err != nil {
@@ -340,6 +375,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if resp.Engines == nil {
 		resp.Engines = []EngineStats{}
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &CacheStats{
+			Dir:          s.cache.Dir(),
+			Hits:         cs.Hits,
+			Misses:       cs.Misses,
+			Writes:       cs.Writes,
+			Corrupt:      cs.Corrupt,
+			BytesRead:    cs.BytesRead,
+			BytesWritten: cs.BytesWritten,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -45,6 +45,14 @@ type Tabular interface {
 	Table() [][]string
 }
 
+// RawArtifact is implemented by artifacts that carry their own canonical
+// JSON envelope — the result cache's rehydrated artifacts. MarshalArtifact
+// returns those bytes verbatim, so an artifact served from the cache
+// exports byte-identically to the run that populated it.
+type RawArtifact interface {
+	MarshalArtifactJSON() []byte
+}
+
 // jsonEnvelope is the on-disk JSON shape: identification plus the full
 // typed result struct.
 type jsonEnvelope struct {
@@ -58,6 +66,9 @@ type jsonEnvelope struct {
 // writes to disk. The serving layer reuses it so an HTTP experiment
 // response and an exported artifact file are byte-compatible.
 func MarshalArtifact(a Artifact) ([]byte, error) {
+	if ra, ok := a.(RawArtifact); ok {
+		return ra.MarshalArtifactJSON(), nil
+	}
 	buf, err := json.MarshalIndent(jsonEnvelope{ID: a.ID(), Title: a.Title(), Data: a}, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("sweep: marshal %s: %w", a.ID(), err)

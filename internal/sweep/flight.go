@@ -7,6 +7,13 @@ import "sync"
 // is cached forever. It replaces the check-compute-store pattern, which
 // recomputes a cell when two goroutines race past the cache miss.
 //
+// A computation that panics is not cached: the entry is dropped, the
+// panic propagates to the caller that ran fn, and blocked duplicate
+// callers retry with their own computation. (The previous sync.Once
+// implementation consumed the once on panic and served the zero value to
+// every future caller — a poisoned cell, fatal now that Flight results
+// can be persisted to disk.)
+//
 // The zero value is not usable; call NewFlight.
 type Flight[K comparable, V any] struct {
 	mu      sync.Mutex
@@ -14,8 +21,12 @@ type Flight[K comparable, V any] struct {
 }
 
 type flightEntry[V any] struct {
-	once sync.Once
+	// done is closed when the builder finishes, successfully or not; ok
+	// is written before the close and read only after it (the channel
+	// close orders the accesses).
+	done chan struct{}
 	val  V
+	ok   bool
 }
 
 // NewFlight returns an empty group.
@@ -25,17 +36,49 @@ func NewFlight[K comparable, V any]() *Flight[K, V] {
 
 // Do returns the memoized value for key, computing it with fn exactly once
 // across all concurrent and future callers. Duplicate callers block until
-// the first computation finishes and then share its result.
+// the first computation finishes and then share its result. If fn panics,
+// the panic propagates out of the builder's Do, the entry is dropped so
+// the zero value is never served, and blocked duplicates retry.
 func (f *Flight[K, V]) Do(key K, fn func() V) V {
-	f.mu.Lock()
-	e, ok := f.entries[key]
-	if !ok {
-		e = &flightEntry[V]{}
-		f.entries[key] = e
+	for {
+		f.mu.Lock()
+		e, found := f.entries[key]
+		if !found {
+			e = &flightEntry[V]{done: make(chan struct{})}
+			f.entries[key] = e
+		}
+		f.mu.Unlock()
+
+		if !found {
+			// This caller is the builder. The deferred cleanup runs on
+			// both success and panic: on panic ok is still false, so the
+			// poisoned entry is dropped (waking waiters into a retry)
+			// before the panic continues unwinding.
+			func() {
+				defer func() {
+					if !e.ok {
+						f.mu.Lock()
+						if f.entries[key] == e {
+							delete(f.entries, key)
+						}
+						f.mu.Unlock()
+					}
+					close(e.done)
+				}()
+				e.val = fn()
+				e.ok = true
+			}()
+			return e.val
+		}
+
+		<-e.done
+		if e.ok {
+			return e.val
+		}
+		// The builder panicked; the entry is gone. Retry as a fresh
+		// builder (and panic ourselves if the computation is
+		// deterministically broken).
 	}
-	f.mu.Unlock()
-	e.once.Do(func() { e.val = fn() })
-	return e.val
 }
 
 // Cached reports whether key has an entry (computed or in flight).
@@ -46,7 +89,7 @@ func (f *Flight[K, V]) Cached(key K) bool {
 	return ok
 }
 
-// Len returns the number of keys ever requested.
+// Len returns the number of cached or in-flight keys.
 func (f *Flight[K, V]) Len() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
