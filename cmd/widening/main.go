@@ -10,6 +10,7 @@
 //	widening schedule -config 4w2 -regs 64 -kernel daxpy
 //	widening bench -json
 //	widening serve -addr 127.0.0.1:8080 -budget 500000 -preload default,kernels -cache /var/cache/widening
+//	widening route -addr 127.0.0.1:8000 -backends 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
@@ -29,7 +30,9 @@
 // README's Result cache section; `widening cache` inspects it).
 // `widening serve` runs the long-lived HTTP/JSON design-space server
 // over warm per-workload engines (see internal/serve and the README's
-// Serving section).
+// Serving section), and `widening route` shards a fleet of such servers
+// behind a fault-tolerant consistent-hash router (see internal/fleet and
+// the README's Fleet section).
 package main
 
 import (
@@ -63,6 +66,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:])
+	}
+	if len(args) > 0 && args[0] == "route" {
+		return runRoute(args[1:])
 	}
 	if len(args) > 0 && args[0] == "cache" {
 		return runCache(args[1:])
@@ -210,8 +216,10 @@ func usage() {
   widening workload show -name divheavy [-loops N] [-seed S]
   widening workload export -name divheavy [-o div.json] [-loops N] [-seed S]
   widening workload import -in div.json
-  widening cache stats|gc|clear -dir DIR
+  widening cache stats|clear -dir DIR
+  widening cache gc -dir DIR [-max-bytes N] [-max-entries N]
   widening schedule -config 4w2 -regs 64 -kernel daxpy|list
   widening bench [-json] [-benchtime 1x] [-workload NAME] [-run Scheduler,RegisterPressure,Table5Implementable]
-  widening serve [-addr HOST:PORT] [-budget UNITS] [-preload default,kernels] [-loops N] [-seed S] [-cache DIR]`)
+  widening serve [-addr HOST:PORT] [-budget UNITS] [-preload default,kernels] [-loops N] [-seed S] [-cache DIR] [-shutdown-timeout D]
+  widening route -addr HOST:PORT -backends host:port,... [-probe-interval D] [-fail-after N] [-retries N] [-hedge-after D]`)
 }

@@ -18,9 +18,11 @@ import (
 // per-workload engines behind an HTTP/JSON API (see internal/serve).
 //
 //	widening serve [-addr HOST:PORT] [-budget UNITS] [-preload a,b] [-loops N] [-seed S]
+//	               [-cache DIR] [-shutdown-timeout 10s]
 //
 // The process runs until SIGINT/SIGTERM, then drains in-flight requests
-// and exits cleanly (CI's smoke relies on the clean exit).
+// for at most -shutdown-timeout — a stuck stream cannot hold the exit
+// hostage — and exits cleanly (CI's smoke relies on the clean exit).
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -31,6 +33,8 @@ func runServe(args []string) error {
 	seed := fs.Int64("seed", 0, "seed override for registry scenarios (0 = scenario defaults)")
 	cacheDir := fs.String("cache", "",
 		"persistent result cache directory shared by all engines: restarts and rebuilt (evicted) engines rehydrate sweep cells from disk (empty = off)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
+		"bound on the graceful drain at shutdown; in-flight requests past it are abandoned")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,11 +76,15 @@ func runServe(args []string) error {
 	case err := <-done:
 		return err
 	case sig := <-sigs:
-		fmt.Fprintf(os.Stderr, "widening serve: %v, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fmt.Fprintf(os.Stderr, "widening serve: %v, draining (up to %s)\n", sig, *shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			return err
+			// The drain deadline passed with requests (a stuck stream?)
+			// still in flight: force the close so the process exits
+			// bounded, as -shutdown-timeout promises.
+			fmt.Fprintf(os.Stderr, "widening serve: drain exceeded %s, forcing close: %v\n", *shutdownTimeout, err)
+			srv.Close()
 		}
 		return <-done
 	}

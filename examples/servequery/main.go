@@ -7,6 +7,11 @@
 // Against an already-running `widening serve`, pass its base URL instead:
 //
 //	go run ./examples/servequery [-url http://127.0.0.1:8080] [-loops N]
+//
+// A `widening route` fleet router presents the identical surface, so the
+// same walk exercises a whole sharded fleet — point -url at the router
+// and the final stats read-back includes the fleet block (per-backend
+// health, rehashes, the workload→backend routing table).
 package main
 
 import (

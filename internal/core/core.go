@@ -26,6 +26,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/ddg"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/lifetimes"
 	"repro/internal/loopgen"
 	"repro/internal/machine"
@@ -98,6 +99,28 @@ func NewServer(opts ServeOptions) (*Server, error) { return serve.New(opts) }
 
 // NewServeClient targets a running server's base URL.
 func NewServeClient(base string) *ServeClient { return serve.NewClient(base) }
+
+// Fleet re-exports: the sharded serving tier — a consistent-hash router
+// over N serve backends with health-checked membership, idempotent
+// retries, hedged evaluations and mid-stream sweep failover. See
+// `widening route` and the README's Fleet section.
+type (
+	// FleetRouter is the fault-tolerant consistent-hash front door.
+	FleetRouter = fleet.Router
+	// FleetOptions configures a FleetRouter (backends, probe cadence,
+	// retry policy, hedge threshold).
+	FleetOptions = fleet.Options
+	// FleetRetryPolicy bounds per-request retries.
+	FleetRetryPolicy = fleet.RetryPolicy
+)
+
+// NewFleetRouter builds the router and starts its health-probe loop.
+func NewFleetRouter(opts FleetOptions) (*FleetRouter, error) { return fleet.New(opts) }
+
+// FleetRetryable classifies an error as safe to retry against another
+// replica (transport failures, truncated sweep streams, gateway
+// statuses — never a backend's deterministic answer).
+func FleetRetryable(err error) bool { return fleet.Retryable(err) }
 
 // Persistent result cache re-exports: the disk-backed content-addressed
 // store memoizing sweep cells and whole artifacts across processes. See

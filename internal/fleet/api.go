@@ -1,0 +1,118 @@
+// Package fleet is the sharded serving tier: a router that consistently
+// hashes workload names onto a set of `widening serve` backends and
+// keeps answering while backends fail. It speaks the same HTTP/JSON API
+// as one backend — clients cannot tell a fleet from a single server,
+// except that killing a backend under them does not fail their requests.
+//
+//	GET  /healthz                   fleet membership health
+//	GET  /v1/workloads              merged registry + imported listing
+//	POST /v1/workloads              import, routed to the owning backend
+//	GET  /v1/eval                   routed + retried + hedged
+//	POST /v1/sweep                  routed + retried (streams resume on survivors)
+//	GET  /v1/experiments/{id}       routed + retried
+//	GET  /v1/stats                  fleet counters + per-backend stats
+//
+// Robustness model, in order of the request path:
+//
+//   - Membership is health-checked: /healthz probes at a configurable
+//     interval mark a backend unhealthy after FailAfter consecutive
+//     failures (its keys rehash to the next replicas on the ring) and
+//     healthy again after RejoinAfter consecutive successes (the router
+//     prewarms the engines for the keys that rehash back, via the
+//     backend's /v1/prewarm).
+//   - Every proxied request retries transport-level failures with capped
+//     exponential backoff and jitter, walking the key's replica order.
+//     Only idempotent failures retry (see Retryable); a backend's
+//     deterministic answer is forwarded, never re-asked.
+//   - Evaluations that straggle past the hedge threshold (fixed, or
+//     adaptive from the observed p95) race a second replica; first
+//     response wins. Safe because evaluation is a pure function and the
+//     backends' singleflight + shared disk cache make duplicates cheap.
+//   - Streaming sweeps resume: points are forwarded as they arrive, and
+//     when a backend dies mid-stream the router replays the sweep on the
+//     next replica, skips the deterministic prefix it already delivered,
+//     and continues — the client sees one complete, byte-identical
+//     stream ending in the PR 6 trailer.
+//   - When every replica for a key is down, the router answers 503 with
+//     a structured Retry-After body immediately instead of hanging.
+package fleet
+
+import "repro/internal/serve"
+
+// HealthResponse is the router's GET /healthz body.
+type HealthResponse struct {
+	// Status is "ok" (all backends healthy), "degraded" (some), or
+	// "down" (none — every request would 503).
+	Status          string          `json:"status"`
+	UptimeSeconds   float64         `json:"uptime_seconds"`
+	BackendsTotal   int             `json:"backends_total"`
+	BackendsHealthy int             `json:"backends_healthy"`
+	Backends        []BackendHealth `json:"backends"`
+}
+
+// BackendHealth is one backend's membership state.
+type BackendHealth struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	// ConsecutiveFailures counts probe/request failures since the last
+	// success; LastError is the most recent failure, kept across
+	// recovery for post-mortems.
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// BackendStats is one backend's row in the aggregated /v1/stats:
+// membership state, the router's own traffic counters for it, and the
+// backend's proxied /v1/stats body (nil when it cannot be fetched).
+type BackendStats struct {
+	Addr                string `json:"addr"`
+	Healthy             bool   `json:"healthy"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+	// Requests counts proxied attempts the router sent here; Failures
+	// counts the ones that failed at transport level.
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures"`
+	// Stats is the backend's own /v1/stats (engines, evictions, disk
+	// cache traffic), fetched live for the aggregation.
+	Stats *serve.StatsResponse `json:"stats,omitempty"`
+}
+
+// FleetInfo is the router-level block of the aggregated /v1/stats.
+type FleetInfo struct {
+	Status          string  `json:"status"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	BackendsTotal   int     `json:"backends_total"`
+	BackendsHealthy int     `json:"backends_healthy"`
+	// Rehashes counts requests served by a non-primary replica (the
+	// primary was unhealthy or failed); Retries counts extra attempts
+	// after a failure; Hedges counts straggler races fired and HedgeWins
+	// how often the hedge answered first; Unavailable counts requests
+	// refused 503 because no replica was healthy.
+	Rehashes    int64 `json:"rehashes"`
+	Retries     int64 `json:"retries"`
+	Hedges      int64 `json:"hedges"`
+	HedgeWins   int64 `json:"hedge_wins"`
+	Unavailable int64 `json:"unavailable"`
+	// HedgeAfterMS is the current hedge threshold (fixed or adaptive).
+	HedgeAfterMS float64 `json:"hedge_after_ms"`
+	// Routing maps each registered workload to the backend currently
+	// answering for it — after a failure this is where the rehash shows.
+	Routing map[string]string `json:"routing"`
+}
+
+// StatsResponse is the router's aggregated GET /v1/stats body.
+type StatsResponse struct {
+	Fleet    FleetInfo      `json:"fleet"`
+	Backends []BackendStats `json:"backends"`
+}
+
+// Unavailable is the structured 503 body: every replica for the key is
+// down, and RetryAfterSeconds (also sent as the Retry-After header) is
+// the probe horizon after which membership may have recovered.
+type Unavailable struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+	BackendsTotal     int    `json:"backends_total"`
+	BackendsHealthy   int    `json:"backends_healthy"`
+}

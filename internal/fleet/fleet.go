@@ -1,0 +1,471 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// Options configures a Router. Backends is required; everything else
+// defaults as documented.
+type Options struct {
+	// Backends lists the `widening serve` instances, as host:port or
+	// http:// base URLs. The set is fixed for the router's lifetime;
+	// health decides which members receive traffic.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (default 64): higher evens the key split at slightly larger ring.
+	Replicas int
+	// ProbeInterval is the health-check period (default 2s);
+	// ProbeTimeout bounds one /healthz probe (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailAfter consecutive failures mark a backend unhealthy (default
+	// 2); RejoinAfter consecutive probe successes mark it healthy again
+	// (default 2) and trigger engine prewarm for the keys rehashing back.
+	FailAfter   int
+	RejoinAfter int
+	// Retry bounds per-request retries (see RetryPolicy).
+	Retry RetryPolicy
+	// AttemptTimeout bounds one buffered proxied attempt (default 2m —
+	// a cold full-workbench experiment is the slow case). Streaming
+	// sweeps are bounded by the client's context instead.
+	AttemptTimeout time.Duration
+	// HedgeAfter is the eval straggler threshold: an evaluation not
+	// answered within it races a second replica. 0 means adaptive —
+	// twice the observed p95 once enough samples exist, 250ms before
+	// that. Negative disables hedging.
+	HedgeAfter time.Duration
+	// Logf receives membership transitions and retry/hedge events
+	// (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Router is the fleet front door: an http.Handler that consistently
+// hashes workload keys onto healthy backends, with retries, hedging and
+// stream resumption. Build one with New, stop it with Shutdown or Close.
+type Router struct {
+	opts    Options
+	ring    *ring
+	mux     *http.ServeMux
+	hc      *http.Client
+	hs      *http.Server
+	started time.Time
+
+	mu       sync.Mutex
+	backends map[string]*backendState
+
+	rehashes, retries, hedges, hedgeWins, unavailable atomic.Int64
+	lat                                               latencyTracker
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// backendState is one backend's membership record; all fields are
+// guarded by the router's mutex.
+type backendState struct {
+	addr        string
+	healthy     bool
+	consecFails int
+	consecOKs   int
+	lastErr     string
+	requests    int64
+	failures    int64
+}
+
+// New builds the router and starts the health-probe loop. Backends are
+// assumed healthy until the first probe says otherwise, so a router in
+// front of a live fleet serves immediately.
+func New(opts Options) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("fleet: no backends configured")
+	}
+	var addrs []string
+	seen := map[string]bool{}
+	for _, b := range opts.Backends {
+		a := strings.TrimRight(strings.TrimSpace(b), "/")
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("fleet: duplicate backend %s", a)
+		}
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("fleet: no backends configured")
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 64
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = time.Second
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 2
+	}
+	if opts.RejoinAfter <= 0 {
+		opts.RejoinAfter = 2
+	}
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = 2 * time.Minute
+	}
+	opts.Retry = opts.Retry.withDefaults()
+
+	rt := &Router{
+		opts: opts,
+		ring: newRing(addrs, opts.Replicas),
+		mux:  http.NewServeMux(),
+		hc: &http.Client{Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			MaxIdleConnsPerHost: 32,
+		}},
+		backends: map[string]*backendState{},
+		started:  time.Now(),
+		stop:     make(chan struct{}),
+	}
+	for _, a := range addrs {
+		rt.backends[a] = &backendState{addr: a, healthy: true}
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /v1/workloads", rt.handleWorkloads)
+	rt.mux.HandleFunc("POST /v1/workloads", rt.handleImport)
+	rt.mux.HandleFunc("GET /v1/eval", rt.handleEval)
+	rt.mux.HandleFunc("POST /v1/sweep", rt.handleSweep)
+	rt.mux.HandleFunc("GET /v1/experiments/{id}", rt.handleExperiment)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound,
+			"no such endpoint %s (have /healthz, /v1/workloads, /v1/eval, /v1/sweep, /v1/experiments/{id}, /v1/stats)",
+			r.URL.Path)
+	})
+	rt.hs = &http.Server{Handler: rt.mux}
+
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf(format, args...)
+	}
+}
+
+// Handler returns the routing handler, for mounting under httptest or a
+// larger mux.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Serve answers requests on l until Shutdown.
+func (rt *Router) Serve(l net.Listener) error {
+	if err := rt.hs.Serve(l); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe answers requests on addr until Shutdown.
+func (rt *Router) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(l)
+}
+
+// Shutdown stops probing, drains in-flight requests and stops the
+// router.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.stopProbes()
+	return rt.hs.Shutdown(ctx)
+}
+
+// Close stops the router immediately, abandoning in-flight requests.
+func (rt *Router) Close() error {
+	rt.stopProbes()
+	return rt.hs.Close()
+}
+
+func (rt *Router) stopProbes() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.CheckNow()
+		}
+	}
+}
+
+// CheckNow probes every backend once, concurrently, applying the
+// fail/rejoin thresholds. The probe loop calls it on each tick; tests
+// call it to step membership deterministically.
+func (rt *Router) CheckNow() {
+	var wg sync.WaitGroup
+	for _, addr := range rt.ring.backends {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			rt.probe(addr)
+		}(addr)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(addr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	var probeErr error
+	if resp, err := rt.hc.Do(req); err != nil {
+		probeErr = err
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			probeErr = fmt.Errorf("healthz returned HTTP %d", resp.StatusCode)
+		}
+	}
+
+	rt.mu.Lock()
+	b := rt.backends[addr]
+	rejoined := false
+	if probeErr != nil {
+		b.consecFails++
+		b.consecOKs = 0
+		b.lastErr = probeErr.Error()
+		if b.healthy && b.consecFails >= rt.opts.FailAfter {
+			b.healthy = false
+			rt.logf("fleet: backend %s unhealthy after %d consecutive failures (%v)", addr, b.consecFails, probeErr)
+		}
+	} else {
+		b.consecOKs++
+		b.consecFails = 0
+		if !b.healthy && b.consecOKs >= rt.opts.RejoinAfter {
+			b.healthy = true
+			rejoined = true
+			rt.logf("fleet: backend %s healthy again after %d consecutive successes", addr, b.consecOKs)
+		}
+	}
+	rt.mu.Unlock()
+
+	if rejoined {
+		// Async: prewarm builds engines, which can take seconds — it must
+		// not stall the probe cycle that keeps the rest of the fleet's
+		// membership fresh.
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.prewarm(addr)
+		}()
+	}
+}
+
+// prewarm asks a rejoined backend to build the engines for every
+// workload whose primary it now is again (serve's /v1/prewarm →
+// Manager.Preload), so the rehash back onto it lands warm. Keys covered:
+// the scenario registry plus whatever the backend itself has imported.
+func (rt *Router) prewarm(addr string) {
+	names := append([]string(nil), workload.Names()...)
+	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.AttemptTimeout)
+	defer cancel()
+	if wls, err := rt.fetchWorkloads(ctx, addr); err == nil {
+		for _, wl := range wls.Imported {
+			names = append(names, wl.Name)
+		}
+	}
+	var mine []string
+	for _, name := range names {
+		if cands := rt.candidates(name); len(cands) > 0 && cands[0] == addr {
+			mine = append(mine, name)
+		}
+	}
+	if len(mine) == 0 {
+		return
+	}
+	body, err := json.Marshal(serve.PrewarmRequest{Workloads: mine})
+	if err != nil {
+		return
+	}
+	pr, err := rt.tryOnce(ctx, addr, http.MethodPost, "/v1/prewarm", body)
+	if err != nil {
+		rt.logf("fleet: prewarm %s (%d workload(s)): %v", addr, len(mine), err)
+		return
+	}
+	var resp serve.PrewarmResponse
+	if json.Unmarshal(pr.body, &resp) == nil {
+		rt.logf("fleet: prewarm %s: %d engine(s) warm for %v", addr, resp.Warmed, mine)
+	}
+}
+
+func (rt *Router) fetchWorkloads(ctx context.Context, addr string) (serve.WorkloadsResponse, error) {
+	var out serve.WorkloadsResponse
+	pr, err := rt.tryOnce(ctx, addr, http.MethodGet, "/v1/workloads", nil)
+	if err != nil {
+		return out, err
+	}
+	return out, json.Unmarshal(pr.body, &out)
+}
+
+// candidates returns the key's failover sequence restricted to healthy
+// backends; empty means every replica is down.
+func (rt *Router) candidates(key string) []string {
+	order := rt.ring.order(key)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(order))
+	for _, addr := range order {
+		if rt.backends[addr].healthy {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// primary is the key's owner over the full configured membership,
+// health-blind: serving a key anywhere else counts as a rehash.
+func (rt *Router) primary(key string) string {
+	return rt.ring.order(key)[0]
+}
+
+func (rt *Router) noteRequest(addr string) {
+	rt.mu.Lock()
+	rt.backends[addr].requests++
+	rt.mu.Unlock()
+}
+
+// noteFailure records a data-path transport failure; it feeds the same
+// fail threshold as probes, so a killed backend drains from the ring at
+// request speed instead of waiting out a probe cycle.
+func (rt *Router) noteFailure(addr string, err error) {
+	rt.mu.Lock()
+	b := rt.backends[addr]
+	b.failures++
+	b.consecFails++
+	b.consecOKs = 0
+	b.lastErr = err.Error()
+	if b.healthy && b.consecFails >= rt.opts.FailAfter {
+		b.healthy = false
+		rt.logf("fleet: backend %s unhealthy after %d consecutive failures (%v)", addr, b.consecFails, err)
+	}
+	rt.mu.Unlock()
+}
+
+// noteSuccess resets the failure streak. It never flips an unhealthy
+// backend back by itself: rejoin is the prober's job, because rejoin
+// also triggers prewarm.
+func (rt *Router) noteSuccess(addr string) {
+	rt.mu.Lock()
+	b := rt.backends[addr]
+	if b.healthy {
+		b.consecFails = 0
+	}
+	rt.mu.Unlock()
+}
+
+// healthSnapshot returns the per-backend health rows and the healthy
+// count, sorted by address for stable output.
+func (rt *Router) healthSnapshot() ([]BackendHealth, int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]BackendHealth, 0, len(rt.backends))
+	healthy := 0
+	for _, b := range rt.backends {
+		if b.healthy {
+			healthy++
+		}
+		out = append(out, BackendHealth{
+			Addr:                b.addr,
+			Healthy:             b.healthy,
+			ConsecutiveFailures: b.consecFails,
+			LastError:           b.lastErr,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out, healthy
+}
+
+func fleetStatus(healthy, total int) string {
+	switch {
+	case healthy == total:
+		return "ok"
+	case healthy > 0:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// latencyTracker keeps a sliding window of successful eval latencies for
+// the adaptive hedge threshold.
+type latencyTracker struct {
+	mu  sync.Mutex
+	buf [256]time.Duration
+	n   int // total recorded (saturating at len(buf) for windowing)
+	idx int
+}
+
+func (t *latencyTracker) record(d time.Duration) {
+	t.mu.Lock()
+	t.buf[t.idx] = d
+	t.idx = (t.idx + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// p95 returns the window's 95th percentile; ok is false until 20
+// samples exist (too little signal to beat the fixed default).
+func (t *latencyTracker) p95() (time.Duration, bool) {
+	t.mu.Lock()
+	n := t.n
+	window := make([]time.Duration, n)
+	copy(window, t.buf[:n])
+	t.mu.Unlock()
+	if n < 20 {
+		return 0, false
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[n*95/100], true
+}
+
+// hedgeDelay is the current straggler threshold.
+func (rt *Router) hedgeDelay() time.Duration {
+	if rt.opts.HedgeAfter > 0 {
+		return rt.opts.HedgeAfter
+	}
+	if p95, ok := rt.lat.p95(); ok {
+		return max(2*p95, 25*time.Millisecond)
+	}
+	return 250 * time.Millisecond
+}

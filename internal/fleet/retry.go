@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// RetryPolicy bounds the router's retries: capped exponential backoff
+// with full jitter between attempts. The zero value means the defaults
+// documented per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per request, first included
+	// (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 25ms);
+	// it doubles per retry up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry n (1-based): the capped
+// exponential delay with full jitter, so a burst of failures against one
+// backend does not retry in lockstep.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseDelay << (n - 1)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// sleep waits out the backoff before retry n, or returns early when the
+// request context dies.
+func (p RetryPolicy) sleep(ctx context.Context, n int) error {
+	t := time.NewTimer(p.backoff(n))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StatusError is a backend response the router treats as a transport
+// failure (a gateway-style 502/503/504, e.g. from a proxy in front of
+// the backend); anything else — 400s, 404s, the backend's own 500s — is
+// the backend's deterministic answer and is forwarded, never retried.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("backend returned HTTP %d: %s", e.Code, e.Body)
+}
+
+// errClientGone marks a failure writing to OUR client: retrying against
+// another backend cannot help, the requester hung up.
+var errClientGone = errors.New("fleet: client connection gone")
+
+// Retryable classifies an error as safe and useful to retry against
+// another replica. Only idempotent failures qualify: transport errors
+// (the request may never have executed, and every fleet request is a
+// pure function of its inputs anyway), truncated sweep streams (the
+// delivered prefix is a deterministic prefix of any retry), and
+// gateway-style status codes. A deterministic backend answer or a dead
+// client is terminal.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, errClientGone) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, serve.ErrTruncatedStream) {
+		return true
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusBadGateway || se.Code == http.StatusServiceUnavailable || se.Code == http.StatusGatewayTimeout
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	// http.Client wraps transport errors in *url.Error, which implements
+	// net.Error and is caught above; any remaining unknown error is
+	// presumed transport-level (a connection reset mid-body can surface
+	// as a plain error string through io.ReadAll).
+	return true
+}

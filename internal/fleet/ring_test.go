@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func TestRingOrderCoversAllBackendsOnce(t *testing.T) {
+	backends := testBackends(5)
+	r := newRing(backends, 64)
+	for k := 0; k < 50; k++ {
+		order := r.order(fmt.Sprintf("workload-%d", k))
+		if len(order) != len(backends) {
+			t.Fatalf("order(%d) has %d backends, want %d", k, len(order), len(backends))
+		}
+		seen := map[string]bool{}
+		for _, b := range order {
+			if seen[b] {
+				t.Fatalf("order(%d) repeats %s", k, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a := newRing(testBackends(4), 64)
+	b := newRing(testBackends(4), 64)
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("wl-%d", k)
+		oa, ob := a.order(key), b.order(key)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("order(%q) differs across instances: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingSpreadsKeys checks the vnode count gives every backend a share
+// of the keyspace (no starved backend, no >3x hot spot at 1000 keys).
+func TestRingSpreadsKeys(t *testing.T) {
+	backends := testBackends(4)
+	r := newRing(backends, 64)
+	counts := map[string]int{}
+	const keys = 1000
+	for k := 0; k < keys; k++ {
+		counts[r.order(fmt.Sprintf("key-%d", k))[0]]++
+	}
+	for _, b := range backends {
+		if counts[b] == 0 {
+			t.Errorf("backend %s owns no keys", b)
+		}
+		if counts[b] > 3*keys/len(backends) {
+			t.Errorf("backend %s owns %d of %d keys (hot spot)", b, counts[b], keys)
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing contract the
+// failover design rests on: dropping one backend moves ONLY the keys it
+// owned — every other key keeps its primary, so a single backend failure
+// never causes a fleet-wide cold start.
+func TestRingMinimalDisruption(t *testing.T) {
+	backends := testBackends(5)
+	r := newRing(backends, 64)
+	down := backends[2]
+	moved := 0
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		order := r.order(key)
+		// The healthy-filtered primary, as Router.candidates computes it.
+		var survivor string
+		for _, b := range order {
+			if b != down {
+				survivor = b
+				break
+			}
+		}
+		if order[0] == down {
+			moved++
+			if survivor == down || survivor == "" {
+				t.Fatalf("key %q has no survivor", key)
+			}
+		} else if survivor != order[0] {
+			t.Fatalf("key %q moved from %s to %s though its primary is up", key, order[0], survivor)
+		}
+	}
+	if moved == 0 {
+		t.Error("no key was owned by the downed backend; distribution test is vacuous")
+	}
+}
+
+func TestRingRejoinRestoresMapping(t *testing.T) {
+	backends := testBackends(4)
+	r := newRing(backends, 64)
+	for k := 0; k < 200; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		before := r.order(key)[0]
+		// The ring itself never changes on membership flaps; rejoin is
+		// the absence of filtering. Same ring, same answer.
+		after := r.order(key)[0]
+		if before != after {
+			t.Fatalf("key %q primary moved %s -> %s without membership change", key, before, after)
+		}
+	}
+}

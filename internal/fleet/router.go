@@ -1,0 +1,575 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// maxProxyBody bounds a buffered backend response (experiment artifacts
+// over the full workbench are single-digit MBs; this is slack, not a
+// target).
+const maxProxyBody = 256 << 20
+
+// maxStreamLine mirrors serve.Client's NDJSON line bound.
+const maxStreamLine = 1 << 20
+
+// proxyResult is one successful buffered attempt.
+type proxyResult struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// tryOnce issues one buffered attempt against a backend. Transport
+// failures and gateway-style statuses come back as errors (retryable);
+// any other status is the backend's answer, success or not.
+func (rt *Router) tryOnce(ctx context.Context, addr, method, path string, body []byte) (*proxyResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.AttemptTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, addr+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rt.noteRequest(addr)
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(data))}
+	}
+	return &proxyResult{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        data,
+	}, nil
+}
+
+// deliver writes a buffered attempt's outcome to our client, tagging
+// which backend answered.
+func deliver(w http.ResponseWriter, addr string, pr *proxyResult) {
+	if pr.contentType != "" {
+		w.Header().Set("Content-Type", pr.contentType)
+	}
+	w.Header().Set("X-Fleet-Backend", addr)
+	w.WriteHeader(pr.status)
+	w.Write(pr.body)
+}
+
+// forward proxies a buffered request for key: candidates in ring order,
+// idempotent-only retries with capped jittered backoff, optional
+// straggler hedging on the first attempt. It writes the response (or the
+// error) itself.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key, method, path string, body []byte, hedge bool) {
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		rt.writeUnavailable(w, key)
+		return
+	}
+	primary := rt.primary(key)
+	pol := rt.opts.Retry
+	var lastErr error
+	next := 0 // index into cands, wrapped
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rt.retries.Add(1)
+			if err := pol.sleep(r.Context(), attempt); err != nil {
+				break
+			}
+		}
+		var pr *proxyResult
+		var addr string
+		var err error
+		if attempt == 0 && hedge && len(cands) > 1 && rt.opts.HedgeAfter >= 0 {
+			start := time.Now()
+			pr, addr, err = rt.hedgedAttempt(r.Context(), cands[0], cands[1], method, path, body)
+			if err == nil {
+				rt.lat.record(time.Since(start))
+			}
+			next = 2
+		} else {
+			addr = cands[next%len(cands)]
+			next++
+			pr, err = rt.tryOnce(r.Context(), addr, method, path, body)
+		}
+		if err == nil {
+			rt.noteSuccess(addr)
+			if addr != primary {
+				rt.rehashes.Add(1)
+			}
+			deliver(w, addr, pr)
+			return
+		}
+		if addr != "" {
+			rt.noteFailure(addr, err)
+		}
+		lastErr = err
+		if !Retryable(err) {
+			break
+		}
+	}
+	writeError(w, http.StatusBadGateway, "fleet: %s %s failed after retries: %v", method, path, lastErr)
+}
+
+// hedgedAttempt races the primary against a delayed second replica: the
+// hedge fires when the primary straggles past the threshold, or
+// immediately when it fails outright. First success wins and the loser
+// is cancelled.
+func (rt *Router) hedgedAttempt(ctx context.Context, a, b, method, path string, body []byte) (*proxyResult, string, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		pr   *proxyResult
+		err  error
+		addr string
+	}
+	ch := make(chan result, 2)
+	launch := func(addr string) {
+		pr, err := rt.tryOnce(hctx, addr, method, path, body)
+		ch <- result{pr, err, addr}
+	}
+	go launch(a)
+	timer := time.NewTimer(rt.hedgeDelay())
+	defer timer.Stop()
+	outstanding := 1
+	secondLaunched := false
+	hedged := false
+	var errs []error
+	for {
+		select {
+		case res := <-ch:
+			outstanding--
+			if res.err == nil {
+				if hedged && res.addr == b {
+					rt.hedgeWins.Add(1)
+				}
+				return res.pr, res.addr, nil
+			}
+			rt.noteFailure(res.addr, res.err)
+			errs = append(errs, fmt.Errorf("%s: %w", res.addr, res.err))
+			if !secondLaunched {
+				// The primary failed before the hedge fired: fail over
+				// immediately, no point waiting out the timer.
+				secondLaunched = true
+				rt.retries.Add(1)
+				outstanding++
+				go launch(b)
+			} else if outstanding == 0 {
+				return nil, "", errors.Join(errs...)
+			}
+		case <-timer.C:
+			if !secondLaunched {
+				secondLaunched = true
+				hedged = true
+				rt.hedges.Add(1)
+				outstanding++
+				go launch(b)
+			}
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+	}
+}
+
+func (rt *Router) writeUnavailable(w http.ResponseWriter, key string) {
+	rt.unavailable.Add(1)
+	_, healthy := rt.healthSnapshot()
+	retryAfter := int((2*rt.opts.ProbeInterval + time.Second - 1) / time.Second)
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(Unavailable{
+		Error: fmt.Sprintf(
+			"fleet: no healthy backend for workload %q (%d/%d backends healthy); retry after the probe horizon",
+			key, healthy, len(rt.ring.backends)),
+		RetryAfterSeconds: retryAfter,
+		BackendsTotal:     len(rt.ring.backends),
+		BackendsHealthy:   healthy,
+	})
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rows, healthy := rt.healthSnapshot()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:          fleetStatus(healthy, len(rows)),
+		UptimeSeconds:   time.Since(rt.started).Seconds(),
+		BackendsTotal:   len(rows),
+		BackendsHealthy: healthy,
+		Backends:        rows,
+	})
+}
+
+// handleWorkloads merges the fleet's view: the registry from any healthy
+// backend (identical everywhere), the imported lists unioned across
+// backends (each import lives on its owner).
+func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type fetched struct {
+		wls serve.WorkloadsResponse
+		err error
+	}
+	cands := rt.healthyBackends()
+	if len(cands) == 0 {
+		rt.writeUnavailable(w, "")
+		return
+	}
+	results := make([]fetched, len(cands))
+	var wg sync.WaitGroup
+	for i, addr := range cands {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i].wls, results[i].err = rt.fetchWorkloads(r.Context(), addr)
+		}(i, addr)
+	}
+	wg.Wait()
+	merged := serve.WorkloadsResponse{Registry: []serve.WorkloadInfo{}, Imported: []serve.WorkloadInfo{}}
+	seen := map[string]bool{}
+	ok := false
+	var lastErr error
+	for i := range results {
+		if results[i].err != nil {
+			rt.noteFailure(cands[i], results[i].err)
+			lastErr = results[i].err
+			continue
+		}
+		if !ok {
+			merged.Registry = results[i].wls.Registry
+			ok = true
+		}
+		for _, wl := range results[i].wls.Imported {
+			if !seen[wl.Name] {
+				seen[wl.Name] = true
+				merged.Imported = append(merged.Imported, wl)
+			}
+		}
+	}
+	if !ok {
+		writeError(w, http.StatusBadGateway, "fleet: no backend answered /v1/workloads: %v", lastErr)
+		return
+	}
+	sort.Slice(merged.Imported, func(i, j int) bool { return merged.Imported[i].Name < merged.Imported[j].Name })
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (rt *Router) healthyBackends() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []string
+	for _, addr := range rt.ring.backends {
+		if rt.backends[addr].healthy {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// handleImport routes an upload to the backend owning the workload's
+// name — the same backend every eval and sweep for that name will hash
+// to.
+func (rt *Router) handleImport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	wl, err := workload.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rt.forward(w, r, wl.Name, http.MethodPost, "/v1/workloads", body, false)
+}
+
+func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("workload")
+	if key == "" {
+		key = workload.Default
+	}
+	rt.forward(w, r, key, http.MethodGet, "/v1/eval?"+r.URL.RawQuery, nil, true)
+}
+
+func (rt *Router) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("workload")
+	if key == "" {
+		key = workload.Default
+	}
+	path := "/v1/experiments/" + r.PathValue("id")
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	rt.forward(w, r, key, http.MethodGet, path, nil, false)
+}
+
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req serve.SweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode sweep request: %v", err)
+		return
+	}
+	key := req.Workload
+	if key == "" {
+		key = workload.Default
+	}
+	if !streaming(r) {
+		rt.forward(w, r, key, http.MethodPost, "/v1/sweep", body, false)
+		return
+	}
+	rt.streamSweep(w, r, key, body)
+}
+
+// streamSweep proxies an NDJSON sweep with mid-stream failover: points
+// forward (and flush) as they arrive; when the backend dies before the
+// trailer, the sweep replays on the next replica and the deterministic
+// prefix already delivered is skipped, so the client sees one seamless
+// complete stream. The router writes the terminating trailer itself once
+// some attempt reaches the backend's trailer.
+func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		rt.writeUnavailable(w, key)
+		return
+	}
+	primary := rt.primary(key)
+	flusher, _ := w.(http.Flusher)
+	pol := rt.opts.Retry
+	sent := 0
+	headerWritten := false
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rt.retries.Add(1)
+			if err := pol.sleep(r.Context(), attempt); err != nil {
+				return
+			}
+			// Refresh membership between attempts: noteFailure may have
+			// drained the backend that just died mid-stream.
+			if live := rt.candidates(key); len(live) > 0 {
+				cands = live
+			}
+		}
+		addr := cands[attempt%len(cands)]
+		err := rt.streamAttempt(r.Context(), addr, body, &sent, &headerWritten, w, flusher)
+		if err == nil {
+			rt.noteSuccess(addr)
+			if addr != primary {
+				rt.rehashes.Add(1)
+			}
+			if !headerWritten {
+				writeStreamHeader(w)
+			}
+			enc := json.NewEncoder(w)
+			enc.Encode(serve.SweepTrailer{Done: true, Points: sent})
+			return
+		}
+		rt.noteFailure(addr, err)
+		lastErr = err
+		if !Retryable(err) {
+			break
+		}
+	}
+	if !headerWritten {
+		writeError(w, http.StatusBadGateway, "fleet: sweep stream failed after retries: %v", lastErr)
+		return
+	}
+	// Points already went out and HTTP cannot take them back: ending
+	// without the trailer is the protocol's truncation signal, which
+	// serve.Client surfaces as a retryable ErrTruncatedStream.
+	rt.logf("fleet: sweep stream for %q abandoned after %d point(s): %v", key, sent, lastErr)
+}
+
+func writeStreamHeader(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+}
+
+// streamAttempt runs one backend sweep stream, skipping the first *sent
+// point lines (already delivered by a previous attempt — the sweep is
+// deterministic and ordered, so the retry's prefix is byte-identical)
+// and forwarding the rest. Returns nil once the backend's trailer
+// confirms a complete stream.
+func (rt *Router) streamAttempt(ctx context.Context, addr string, body []byte, sent *int, headerWritten *bool, w http.ResponseWriter, flusher http.Flusher) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/sweep?stream=1", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rt.noteRequest(addr)
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		switch resp.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(data))}
+		}
+		// The backend's deterministic rejection (bad cells, unknown
+		// workload): forward it verbatim when we still can.
+		if !*headerWritten {
+			ct := resp.Header.Get("Content-Type")
+			deliver(w, addr, &proxyResult{status: resp.StatusCode, contentType: ct, body: data})
+			return nil
+		}
+		return fmt.Errorf("fleet: backend %s answered HTTP %d mid-resume", addr, resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !json.Valid(line) {
+			// A connection cut mid-line reaches us as a complete-looking
+			// final token (bufio.Scanner flushes its partial buffer before
+			// reporting the read error). Forwarding it would corrupt the
+			// client's stream unrecoverably — the resume skips whole lines,
+			// so the fragment would never be completed. Drop it and retry.
+			return fmt.Errorf("fleet: %w: backend %s sent a partial line after %d point(s)", serve.ErrTruncatedStream, addr, n)
+		}
+		var t serve.SweepTrailer
+		if json.Unmarshal(line, &t) == nil && t.Done {
+			if t.Points != n || n < *sent {
+				return fmt.Errorf("fleet: %w: backend %s trailer reports %d point(s), saw %d (already delivered %d)",
+					serve.ErrTruncatedStream, addr, t.Points, n, *sent)
+			}
+			return nil
+		}
+		n++
+		if n <= *sent {
+			continue // deterministic prefix, already delivered
+		}
+		if !*headerWritten {
+			writeStreamHeader(w)
+			*headerWritten = true
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("%w: %v", errClientGone, err)
+		}
+		*sent = n
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("fleet: %w: backend %s read failed after %d point(s): %v", serve.ErrTruncatedStream, addr, n, err)
+	}
+	return fmt.Errorf("fleet: %w: backend %s closed after %d point(s) with no trailer", serve.ErrTruncatedStream, addr, n)
+}
+
+// handleStats aggregates: the router's own counters and routing table,
+// plus each backend's proxied /v1/stats.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rows, healthy := rt.healthSnapshot()
+	resp := StatsResponse{
+		Fleet: FleetInfo{
+			Status:          fleetStatus(healthy, len(rows)),
+			UptimeSeconds:   time.Since(rt.started).Seconds(),
+			BackendsTotal:   len(rows),
+			BackendsHealthy: healthy,
+			Rehashes:        rt.rehashes.Load(),
+			Retries:         rt.retries.Load(),
+			Hedges:          rt.hedges.Load(),
+			HedgeWins:       rt.hedgeWins.Load(),
+			Unavailable:     rt.unavailable.Load(),
+			HedgeAfterMS:    float64(rt.hedgeDelay()) / float64(time.Millisecond),
+			Routing:         map[string]string{},
+		},
+		Backends: make([]BackendStats, len(rows)),
+	}
+	for _, name := range workload.Names() {
+		if cands := rt.candidates(name); len(cands) > 0 {
+			resp.Fleet.Routing[name] = cands[0]
+		}
+	}
+	var wg sync.WaitGroup
+	for i, row := range rows {
+		resp.Backends[i] = BackendStats{
+			Addr:                row.Addr,
+			Healthy:             row.Healthy,
+			ConsecutiveFailures: row.ConsecutiveFailures,
+			LastError:           row.LastError,
+		}
+		rt.mu.Lock()
+		if b := rt.backends[row.Addr]; b != nil {
+			resp.Backends[i].Requests = b.requests
+			resp.Backends[i].Failures = b.failures
+		}
+		rt.mu.Unlock()
+		if !row.Healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ProbeTimeout+2*time.Second)
+			defer cancel()
+			pr, err := rt.tryOnce(ctx, addr, http.MethodGet, "/v1/stats", nil)
+			if err != nil {
+				return
+			}
+			var ss serve.StatsResponse
+			if json.Unmarshal(pr.body, &ss) == nil {
+				resp.Backends[i].Stats = &ss
+			}
+		}(i, row.Addr)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func streaming(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, serve.Error{Error: fmt.Sprintf(format, args...)})
+}

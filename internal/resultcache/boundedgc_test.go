@@ -1,0 +1,143 @@
+package resultcache
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// fillStore writes n entries with strictly increasing mtimes (oldest
+// first), returning the keys in age order.
+func fillStore(t *testing.T, s *Store, n, payloadSize int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	base := time.Now().Add(-time.Duration(n+1) * time.Hour)
+	for i := 0; i < n; i++ {
+		keys[i] = Sum(fmt.Sprintf("entry-%d", i))
+		payload := make([]byte, payloadSize)
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		if err := s.Put(keys[i], payload); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		p, err := s.path(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestBoundedGCNoCapsIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 3, 64)
+	removed, freed, err := s.BoundedGC(0, 0)
+	if err != nil || removed != 0 || freed != 0 {
+		t.Fatalf("BoundedGC(0,0) = (%d, %d, %v), want no-op", removed, freed, err)
+	}
+}
+
+func TestBoundedGCEntryCapPrunesOldest(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillStore(t, s, 5, 64)
+	removed, freed, err := s.BoundedGC(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 || freed <= 0 {
+		t.Fatalf("pruned %d entries (%d bytes), want the 3 oldest", removed, freed)
+	}
+	for i, key := range keys {
+		_, ok := s.Get(key)
+		if want := i >= 3; ok != want {
+			t.Errorf("entry %d present=%v, want %v (oldest-first eviction)", i, ok, want)
+		}
+	}
+	if u, _ := s.Usage(); u.Entries != 2 {
+		t.Fatalf("usage reports %d entries after gc, want 2", u.Entries)
+	}
+}
+
+func TestBoundedGCByteCap(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 6, 512)
+	u, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := u.Bytes / 2
+	if _, _, err := s.BoundedGC(limit, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Bytes > limit {
+		t.Fatalf("store holds %d bytes after BoundedGC(%d)", after.Bytes, limit)
+	}
+	if after.Entries == 0 {
+		t.Fatal("byte cap evicted everything; should stop once under the cap")
+	}
+}
+
+// TestBoundedGCIsLRUNotFIFO: a Get touches the entry, so the hot set
+// survives even when it was written first.
+func TestBoundedGCIsLRUNotFIFO(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillStore(t, s, 5, 64)
+	// Read the OLDEST entry: under pure write-order eviction it would die
+	// first; under LRU the read saves it.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("warm read missed")
+	}
+	if _, _, err := s.BoundedGC(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Error("recently-read entry was evicted (FIFO, not LRU)")
+	}
+	if _, ok := s.Get(keys[4]); !ok {
+		t.Error("most recently written entry was evicted")
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Error("cold entry survived a cap of 2")
+	}
+}
+
+func TestPutErrorsCounted(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("not-a-hex-digest", []byte("x")); err == nil {
+		t.Fatal("bad-key Put succeeded")
+	}
+	if got := s.Stats().PutErrors; got != 1 {
+		t.Fatalf("PutErrors = %d, want 1", got)
+	}
+	if err := s.Put(Sum("ok"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PutErrors; got != 1 {
+		t.Fatalf("PutErrors = %d after a good Put, want still 1", got)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // FormatEpoch versions the entry file layout. Bumping it orphans every
@@ -53,6 +54,7 @@ type Store struct {
 
 	hits, misses, writes, corrupt atomic.Int64
 	bytesRead, bytesWritten       atomic.Int64
+	putErrors                     atomic.Int64
 }
 
 // Open returns a store rooted at dir, creating the directory as needed.
@@ -132,6 +134,10 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.hits.Add(1)
 	s.bytesRead.Add(int64(len(data)))
+	// Touch the entry so BoundedGC's least-recently-used ordering sees
+	// reads, not just writes. Best-effort: a read-only store still serves.
+	now := time.Now()
+	os.Chtimes(p, now, now)
 	return payload, true
 }
 
@@ -164,8 +170,18 @@ func decodeEntry(key string, data []byte) ([]byte, bool) {
 // Put stores payload under key atomically: the entry is staged as a temp
 // file in the destination directory, synced, and renamed into place, so
 // a crash mid-write leaves at worst an orphan temp file (reclaimed by
-// GC), never a half-written entry under the key.
+// GC), never a half-written entry under the key. Failures are counted
+// (Stats.PutErrors) so a store that stopped absorbing writes — disk
+// full, permissions — is visible even to callers that drop the error.
 func (s *Store) Put(key string, payload []byte) error {
+	if err := s.put(key, payload); err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (s *Store) put(key string, payload []byte) error {
 	p, err := s.path(key)
 	if err != nil {
 		return err
@@ -234,6 +250,10 @@ type Stats struct {
 	Corrupt int64
 	// BytesRead and BytesWritten total the entry file sizes moved.
 	BytesRead, BytesWritten int64
+	// PutErrors counts Puts that failed to commit (disk full,
+	// permissions). The computation that produced the payload still
+	// served its caller; the store just is not absorbing new work.
+	PutErrors int64
 }
 
 // Stats snapshots the counters.
@@ -245,6 +265,7 @@ func (s *Store) Stats() Stats {
 		Corrupt:      s.corrupt.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
+		PutErrors:    s.putErrors.Load(),
 	}
 }
 
@@ -342,6 +363,58 @@ func (s *Store) GC() (removed int, freed int64, err error) {
 		if stale {
 			os.RemoveAll(root) // now-empty directory tree (or the stray file)
 		}
+	}
+	return removed, freed, nil
+}
+
+// BoundedGC prunes least-recently-used live entries until the current
+// epoch fits under maxBytes and maxEntries (0 disables either cap).
+// Recency is the entry file's mtime, which Get bumps on every hit, so
+// the pruned entries are the ones nothing has asked for — a fleet of
+// backends sharing one store caps its growth without losing the hot set.
+// Eviction is safe at any time: a pruned entry is simply a future miss.
+func (s *Store) BoundedGC(maxBytes int64, maxEntries int) (removed int, freed int64, err error) {
+	if maxBytes <= 0 && maxEntries <= 0 {
+		return 0, 0, nil
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	root := filepath.Join(s.dir, FormatEpoch)
+	walkErr := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // removed while walking
+		}
+		entries = append(entries, entry{path: p, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if walkErr != nil {
+		return 0, 0, fmt.Errorf("resultcache: bounded gc: %w", walkErr)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	live := len(entries)
+	for _, e := range entries {
+		over := (maxBytes > 0 && total > maxBytes) || (maxEntries > 0 && live > maxEntries)
+		if !over {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			removed++
+			freed += e.size
+		}
+		// Treat a failed remove as gone too: the loop must terminate, and
+		// a vanished file no longer occupies the space either way.
+		total -= e.size
+		live--
 	}
 	return removed, freed, nil
 }

@@ -12,6 +12,7 @@
 //	POST /v1/sweep                  a panel of cells (single JSON or NDJSON stream)
 //	GET  /v1/experiments/{id}       a paper artifact over the warm engine
 //	GET  /v1/stats                  engine cache counters, memory, evictions
+//	POST /v1/prewarm                build engines ahead of traffic (fleet rejoin)
 //
 // Engines are held by a Manager with singleflight construction, LRU
 // accounting and eviction under a configurable memory budget (denominated
@@ -26,13 +27,36 @@ type Error struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body. Status is "ok" or "degraded": a
+// degraded server still answers (that is the point — partial failure must
+// not look like death to a fleet router), but Reasons lists what is
+// impaired so probes can alert instead of silently losing warm starts.
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Workloads counts the workloads currently answerable (registry +
 	// imported).
 	Workloads int `json:"workloads"`
+	// Reasons lists why the server is degraded (partial preload failures,
+	// result-cache write errors); empty when Status is "ok".
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// PrewarmRequest is the POST /v1/prewarm body: workloads whose engines
+// should be built now, ahead of traffic. The fleet router sends it when a
+// backend rejoins after an outage, so the rehash back onto the backend
+// lands on warm engines instead of paying cold construction per request.
+type PrewarmRequest struct {
+	Workloads []string `json:"workloads"`
+}
+
+// PrewarmResponse is the POST /v1/prewarm body: how many engines warmed,
+// and the per-workload failures (unknown names, build errors) that were
+// skipped — a partial prewarm is success for the names that built, same
+// contract as -preload.
+type PrewarmResponse struct {
+	Warmed int      `json:"warmed"`
+	Errors []string `json:"errors,omitempty"`
 }
 
 // WorkloadInfo describes one answerable workload.
@@ -168,6 +192,11 @@ type CacheStats struct {
 	// BytesRead and BytesWritten total the entry traffic.
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
+	// PutErrors counts failed entry writes (disk full, permissions):
+	// correctness is unaffected — the result was computed and served —
+	// but the store is no longer absorbing work, which /healthz reports
+	// as degraded.
+	PutErrors int64 `json:"put_errors,omitempty"`
 }
 
 // StatsResponse is the GET /v1/stats body.

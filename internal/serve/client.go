@@ -8,33 +8,94 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/workload"
+)
+
+// ErrTruncatedStream marks an NDJSON sweep stream that did not complete:
+// the connection closed without the SweepTrailer, the trailer counted
+// more points than arrived, or the read itself failed mid-stream. Every
+// such failure wraps this sentinel, so callers (the fleet router above
+// all) can classify it with errors.Is and retry against another replica —
+// a truncated sweep is idempotent to re-run, the points already consumed
+// are a deterministic prefix of the retry.
+var ErrTruncatedStream = errors.New("sweep stream truncated")
+
+// ClientOptions tunes a Client's transport. The zero value gives the
+// defaults documented per field; use NewClientHTTP to take over the
+// http.Client entirely.
+type ClientOptions struct {
+	// DialTimeout bounds establishing the TCP connection (default 10s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one whole request — dial, headers and body,
+	// streaming sweeps included (default 10m, enough for a cold full-
+	// workbench experiment; negative disables the bound). A tighter
+	// caller deadline on the context always wins.
+	RequestTimeout time.Duration
+}
+
+const (
+	defaultDialTimeout    = 10 * time.Second
+	defaultRequestTimeout = 10 * time.Minute
 )
 
 // Client is a typed Go client for the serve API, used by the tests, the
 // CI smoke and examples/servequery. The zero value is not usable; call
 // NewClient.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
 }
 
-// NewClient targets a server base URL (e.g. "http://127.0.0.1:8080").
+// NewClient targets a server base URL (e.g. "http://127.0.0.1:8080")
+// with sane default timeouts: a request cannot hang forever on a dead
+// peer even when the caller passes context.Background().
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	return NewClientOptions(base, ClientOptions{})
+}
+
+// NewClientOptions is NewClient with explicit timeout options.
+func NewClientOptions(base string, opts ClientOptions) *Client {
+	dial := opts.DialTimeout
+	if dial == 0 {
+		dial = defaultDialTimeout
+	}
+	timeout := opts.RequestTimeout
+	if timeout == 0 {
+		timeout = defaultRequestTimeout
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
+	hc := &http.Client{Transport: &http.Transport{
+		DialContext:         (&net.Dialer{Timeout: dial}).DialContext,
+		TLSHandshakeTimeout: dial,
+	}}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, timeout: timeout}
 }
 
 // NewClientHTTP is NewClient with a custom http.Client (timeouts,
-// transports, test servers).
+// transports, test servers). The provided client is used as-is: no
+// default request timeout is layered on top, exactly as before
+// ClientOptions existed.
 func NewClientHTTP(base string, hc *http.Client) *Client {
-	c := NewClient(base)
-	c.hc = hc
-	return c
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// reqCtx applies the client's request timeout. The caller's own deadline,
+// when earlier, is preserved by context.WithTimeout semantics.
+func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return ctx, func() {}
 }
 
 // Health calls GET /healthz.
@@ -118,6 +179,8 @@ func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Poin
 	if err != nil {
 		return err
 	}
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	resp, err := c.do(ctx, http.MethodPost, "/v1/sweep?stream=1", body)
 	if err != nil {
 		return err
@@ -133,13 +196,19 @@ func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Poin
 		var t SweepTrailer
 		if json.Unmarshal(sc.Bytes(), &t) == nil && t.Done {
 			if t.Points != received {
-				return fmt.Errorf("serve: sweep stream lost points: trailer reports %d, received %d", t.Points, received)
+				return fmt.Errorf("serve: %w: trailer reports %d point(s), received %d (lost points in transit)", ErrTruncatedStream, t.Points, received)
 			}
 			return nil
 		}
 		var p Point
 		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
-			return fmt.Errorf("serve: decode stream line: %w", err)
+			// A connection cut mid-line surfaces here, not as a read error:
+			// bufio.Scanner emits whatever partial line it holds as a final
+			// complete-looking token before reporting the failure. An
+			// undecodable line is therefore truncation (or corruption in
+			// flight), never a deterministic server answer — classify it as
+			// the retryable stream failure it is.
+			return fmt.Errorf("serve: %w: undecodable line after %d point(s): %v", ErrTruncatedStream, received, err)
 		}
 		if err := fn(p); err != nil {
 			return err
@@ -150,9 +219,9 @@ func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Poin
 		if errors.Is(err, bufio.ErrTooLong) {
 			return fmt.Errorf("serve: sweep stream line exceeds %d bytes (server and client disagree on the protocol?): %w", maxStreamLine, err)
 		}
-		return fmt.Errorf("serve: sweep stream read after %d point(s): %w", received, err)
+		return fmt.Errorf("serve: %w: read failed after %d point(s): %v", ErrTruncatedStream, received, err)
 	}
-	return fmt.Errorf("serve: sweep stream truncated: connection closed after %d point(s) with no terminator", received)
+	return fmt.Errorf("serve: %w: connection closed after %d point(s) with no terminator", ErrTruncatedStream, received)
 }
 
 // ExperimentResponse is the experiment envelope (the artifact's canonical
@@ -183,6 +252,8 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	resp, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
@@ -191,6 +262,8 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 }
 
 func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	resp, err := c.do(ctx, http.MethodPost, path, body)
 	if err != nil {
 		return err

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/resultcache"
+)
+
+func TestClientDefaultTimeouts(t *testing.T) {
+	if c := NewClient("http://127.0.0.1:1"); c.timeout != defaultRequestTimeout {
+		t.Fatalf("NewClient timeout = %v, want %v", c.timeout, defaultRequestTimeout)
+	}
+	if c := NewClientOptions("http://127.0.0.1:1", ClientOptions{RequestTimeout: -1}); c.timeout != 0 {
+		t.Fatalf("negative RequestTimeout gives %v, want 0 (disabled)", c.timeout)
+	}
+	if c := NewClientHTTP("http://127.0.0.1:1", http.DefaultClient); c.timeout != 0 {
+		t.Fatalf("NewClientHTTP layered a timeout (%v) on the caller's client", c.timeout)
+	}
+}
+
+// TestClientRequestTimeoutHonored: a hung backend cannot stall a default
+// client forever — the configured request timeout fires even under
+// context.Background().
+func TestClientRequestTimeoutHonored(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	defer close(stall) // LIFO: unblock the handler before ts.Close waits on it
+
+	c := NewClientOptions(ts.URL, ClientOptions{RequestTimeout: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("Health against a hung server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not unwrap to context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v to fire", elapsed)
+	}
+}
+
+// TestClientCallerDeadlineWins: a tighter caller deadline preempts the
+// client's own (longer) request timeout.
+func TestClientCallerDeadlineWins(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	defer close(stall) // LIFO: unblock the handler before ts.Close waits on it
+
+	c := NewClient(ts.URL) // 10m default
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("Health outlived the caller's deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("caller deadline took %v to fire", elapsed)
+	}
+}
+
+// TestHealthzDegradedOnPartialPreload: a server that lost some preload
+// targets still answers, but /healthz says degraded and names the loss.
+func TestHealthzDegradedOnPartialPreload(t *testing.T) {
+	s, err := New(Options{Loops: 4, Seed: 1, Preload: []string{"default", "no-such-workload"}})
+	if err == nil {
+		t.Fatal("partial preload failure reported no error")
+	}
+	if s == nil {
+		t.Fatal("partial preload failure returned no server (one engine did warm)")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded", h.Status)
+	}
+	if len(h.Reasons) == 0 || !contains(h.Reasons, "no-such-workload") {
+		t.Fatalf("reasons %v do not name the failed preload", h.Reasons)
+	}
+
+	// Degraded is not down: the warm engine answers.
+	resp, err := http.Get(ts.URL + "/v1/eval?config=2w2&regs=64")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded server refused an eval: %v (HTTP %v)", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestHealthzDegradedOnCachePutErrors: a store that stops absorbing
+// writes flips /healthz to degraded with the counter in the reason.
+func TestHealthzDegradedOnCachePutErrors(t *testing.T) {
+	store, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Loops: 4, Seed: 1, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("fresh server status = %q, want ok", h.Status)
+	}
+
+	if err := store.Put("not-a-valid-key", []byte("x")); err == nil {
+		t.Fatal("bad-key Put succeeded")
+	}
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "degraded" || !contains(h.Reasons, "failed write") {
+		t.Fatalf("after a put error: status %q, reasons %v", h.Status, h.Reasons)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Cache == nil || st.Cache.PutErrors != 1 {
+		t.Fatalf("stats cache = %+v, want PutErrors 1", st.Cache)
+	}
+}
+
+func TestPrewarmEndpoint(t *testing.T) {
+	s, err := New(Options{Loops: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var pr PrewarmResponse
+	postJSON(t, ts.URL+"/v1/prewarm", PrewarmRequest{Workloads: []string{"default", "bogus"}}, &pr)
+	if pr.Warmed != 1 {
+		t.Fatalf("warmed = %d, want 1", pr.Warmed)
+	}
+	if len(pr.Errors) == 0 || !contains(pr.Errors, "bogus") {
+		t.Fatalf("errors %v do not name the unknown workload", pr.Errors)
+	}
+	if builds := s.Manager().Stats().Builds; builds != 1 {
+		t.Fatalf("builds = %d after prewarm, want 1", builds)
+	}
+
+	// Idempotent: re-prewarming a warm workload builds nothing new.
+	postJSON(t, ts.URL+"/v1/prewarm", PrewarmRequest{Workloads: []string{"default"}}, &pr)
+	if builds := s.Manager().Stats().Builds; builds != 1 {
+		t.Fatalf("builds = %d after repeat prewarm, want still 1", builds)
+	}
+
+	// Malformed requests are rejected, not half-applied.
+	for _, body := range []string{`{}`, `{"workloads":[]}`, `{"nope":1}`} {
+		resp, err := http.Post(ts.URL+"/v1/prewarm", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("prewarm %s: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func postJSON(t *testing.T, url string, in, out any) {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+}
+
+func contains(list []string, substr string) bool {
+	for _, s := range list {
+		if bytes.Contains([]byte(s), []byte(substr)) {
+			return true
+		}
+	}
+	return false
+}

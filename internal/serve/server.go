@@ -48,6 +48,10 @@ type Server struct {
 	mux     *http.ServeMux
 	hs      *http.Server
 	started time.Time
+	// preloadErrs records the startup preload failures (if any): the
+	// server runs, but /healthz reports it degraded so operators and the
+	// fleet router can see the missing warm starts.
+	preloadErrs []string
 }
 
 // New builds a server and warms the preloaded engines. When some — but
@@ -78,9 +82,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/prewarm", s.handlePrewarm)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound,
-			"no such endpoint %s (have /healthz, /v1/workloads, /v1/eval, /v1/sweep, /v1/experiments/{id}, /v1/stats)",
+			"no such endpoint %s (have /healthz, /v1/workloads, /v1/eval, /v1/sweep, /v1/experiments/{id}, /v1/stats, /v1/prewarm)",
 			r.URL.Path)
 	})
 	s.hs = &http.Server{Handler: s.mux}
@@ -88,9 +93,21 @@ func New(opts Options) (*Server, error) {
 		if warmed == 0 {
 			return nil, err
 		}
+		for _, e := range flattenErrs(err) {
+			s.preloadErrs = append(s.preloadErrs, e.Error())
+		}
 		return s, err
 	}
 	return s, nil
+}
+
+// flattenErrs unwraps an errors.Join result into its parts (or the error
+// itself when it is not a join).
+func flattenErrs(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
 }
 
 // Manager exposes the engine manager (tests and embedders).
@@ -122,12 +139,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
+// Close stops the server immediately, abandoning in-flight requests. The
+// serve command calls it when the graceful drain exceeds its
+// -shutdown-timeout: a stuck stream must not hold the process hostage.
+func (s *Server) Close() error {
+	return s.hs.Close()
+}
+
+// degradedReasons reports what is impaired: preload entries that never
+// warmed, and a result store that stopped absorbing writes. Both leave
+// the server answering correctly — degraded, not down.
+func (s *Server) degradedReasons() []string {
+	reasons := append([]string(nil), s.preloadErrs...)
+	if s.cache != nil {
+		if n := s.cache.Stats().PutErrors; n > 0 {
+			reasons = append(reasons, fmt.Sprintf("result cache: %d failed write(s) to %s", n, s.cache.Dir()))
+		}
+	}
+	return reasons
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workloads:     len(workload.Names()) + len(s.mgr.Imported()),
-	})
+	}
+	if reasons := s.degradedReasons(); len(reasons) > 0 {
+		resp.Status = "degraded"
+		resp.Reasons = reasons
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePrewarm(w http.ResponseWriter, r *http.Request) {
+	var req PrewarmRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode prewarm request: %v", err)
+		return
+	}
+	if len(req.Workloads) == 0 {
+		writeError(w, http.StatusBadRequest, "prewarm request has no workloads")
+		return
+	}
+	warmed, err := s.mgr.Preload(req.Workloads)
+	resp := PrewarmResponse{Warmed: warmed}
+	if err != nil {
+		for _, e := range flattenErrs(err) {
+			resp.Errors = append(resp.Errors, e.Error())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
@@ -386,6 +450,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Corrupt:      cs.Corrupt,
 			BytesRead:    cs.BytesRead,
 			BytesWritten: cs.BytesWritten,
+			PutErrors:    cs.PutErrors,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
