@@ -65,6 +65,18 @@ func BenchmarkTable4AccessTime(b *testing.B) { runExperiment(b, "table4") }
 // so `widening bench` reports the same workload.
 func BenchmarkTable5Implementable(b *testing.B) { benchsuite.Table5Implementable(b) }
 
+// BenchmarkRender re-renders a fixed Table 5 result, isolating the
+// textplot arena path from the engine caches.
+func BenchmarkRender(b *testing.B) { benchsuite.Render(b) }
+
+// BenchmarkExportCSV runs the tabular export (Table() + CSV encode) over
+// a fixed Table 5 result.
+func BenchmarkExportCSV(b *testing.B) { benchsuite.ExportCSV(b) }
+
+// BenchmarkServeEval measures one warm /v1/eval request end to end
+// against an in-process serve handler.
+func BenchmarkServeEval(b *testing.B) { benchsuite.ServeEval(b) }
+
 // BenchmarkTable6CycleModels regenerates Table 6 (latency models).
 func BenchmarkTable6CycleModels(b *testing.B) { runExperiment(b, "table6") }
 

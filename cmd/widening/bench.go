@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strings"
 	"testing"
@@ -17,11 +18,12 @@ import (
 // prints a summary, optionally as machine-readable JSON (the format
 // committed as the BENCH_PR*.json trajectory files).
 //
-//	widening bench [-json] [-benchtime 1x] [-run Scheduler,RegisterPressure]
+//	widening bench [-json] [-benchtime 1x] [-run Scheduler,RegisterPressure] [-bench 'Sched.*']
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON summary on stdout")
 	run := fs.String("run", "", "comma-separated benchmark names (default: all)")
+	benchRe := fs.String("bench", "", "regexp selecting benchmarks by name, like `go test -bench` (composes with -run)")
 	wl := fs.String("workload", "", "workload scenario to benchmark over (default: the trajectory's default scenario)")
 	benchtime := fs.String("benchtime", "",
 		"per-benchmark budget, a duration (\"100ms\") or an iteration count (\"1x\"); default: the testing package's 1s — CI's trajectory guard uses 1x")
@@ -60,6 +62,22 @@ func runBench(args []string) error {
 		}
 		if len(want) > 0 {
 			return fmt.Errorf("unknown benchmark(s): %s", strings.Join(mapKeys(want), ", "))
+		}
+		selected = filtered
+	}
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			return fmt.Errorf("bench: -bench %q: %w", *benchRe, err)
+		}
+		var filtered []benchsuite.Bench
+		for _, b := range selected {
+			if re.MatchString(b.Name) {
+				filtered = append(filtered, b)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("bench: -bench %q matches no benchmark (have %s)", *benchRe, benchNames())
 		}
 		selected = filtered
 	}
@@ -125,4 +143,12 @@ func mapKeys(m map[string]bool) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+func benchNames() string {
+	var names []string
+	for _, b := range benchsuite.All() {
+		names = append(names, b.Name)
+	}
+	return strings.Join(names, ", ")
 }

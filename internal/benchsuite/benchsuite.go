@@ -10,6 +10,9 @@ package benchsuite
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -19,6 +22,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/regalloc"
 	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -37,6 +42,9 @@ func All() []Bench {
 		{"RegisterPressure", RegisterPressure},
 		{"Regalloc", Regalloc},
 		{"Table5Implementable", Table5Implementable},
+		{"Render", Render},
+		{"ExportCSV", ExportCSV},
+		{"ServeEval", ServeEval},
 	}
 }
 
@@ -222,6 +230,78 @@ func Table5Implementable(b *testing.B) {
 		}
 		if len(res.Render()) == 0 {
 			b.Fatal("empty render")
+		}
+	}
+}
+
+// Render measures pure artifact rendering: the computed Table 5 result is
+// fixed in setup and each iteration re-renders it, isolating the textplot
+// arena path from the engine caches Table5Implementable also exercises.
+func Render(b *testing.B) {
+	ctx, err := Context()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ctx.Run("table5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(res.Render()) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// ExportCSV measures the tabular export path (Table() cell
+// materialisation plus CSV encoding) over the fixed Table 5 result.
+func ExportCSV(b *testing.B) {
+	ctx, err := Context()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ctx.Run("table5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep.WriteCSV(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ServeEval measures one warm /v1/eval request end to end — routing,
+// engine lookup, the cached cell evaluation and the JSON response — the
+// steady-state unit of serve traffic once an engine is hot.
+func ServeEval(b *testing.B) {
+	pinned = true
+	srv, err := serve.New(serve.Options{Loops: BenchLoops, Preload: []string{suiteName}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	target := "/v1/eval?config=2w2&regs=64&workload=" + suiteName
+	// Prime the cell so iterations measure the request path, not one
+	// scheduling run amortised over b.N.
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("eval returned HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("eval returned HTTP %d", rec.Code)
 		}
 	}
 }

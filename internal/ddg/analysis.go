@@ -38,6 +38,10 @@ type Analysis struct {
 	sccs         [][]int
 	recOps       map[int]bool
 
+	// cnt is the shared counting scratch of the slab builders below
+	// (count-then-fill construction); it only lives under mu.
+	cnt []int
+
 	models map[machine.CycleModel]*modelAnalysis
 	resMII map[resMIIKey]int
 }
@@ -100,12 +104,46 @@ func (a *Analysis) Preds() [][]Edge {
 	return a.predsLocked()
 }
 
+// countsLocked returns the zeroed n-int counting scratch. Each builder
+// uses it fully before returning; nothing retains it.
+func (a *Analysis) countsLocked(n int) []int {
+	if cap(a.cnt) < n {
+		a.cnt = make([]int, n)
+	}
+	a.cnt = a.cnt[:n]
+	for i := range a.cnt {
+		a.cnt[i] = 0
+	}
+	return a.cnt
+}
+
+// edgeListsLocked builds per-node edge lists keyed by key(e) with
+// count-then-fill slab construction: one header slice plus one edge slab
+// instead of n append-grown lists.
+func (a *Analysis) edgeListsLocked(key func(Edge) int) [][]Edge {
+	n := len(a.loop.Ops)
+	edges := a.loop.Edges
+	cnt := a.countsLocked(n)
+	for _, e := range edges {
+		cnt[key(e)]++
+	}
+	slab := make([]Edge, len(edges))
+	heads := make([][]Edge, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		heads[v] = slab[off : off : off+cnt[v]]
+		off += cnt[v]
+	}
+	for _, e := range edges {
+		v := key(e)
+		heads[v] = append(heads[v], e)
+	}
+	return heads
+}
+
 func (a *Analysis) predsLocked() [][]Edge {
 	if a.preds == nil {
-		a.preds = make([][]Edge, len(a.loop.Ops))
-		for _, e := range a.loop.Edges {
-			a.preds[e.To] = append(a.preds[e.To], e)
-		}
+		a.preds = a.edgeListsLocked(func(e Edge) int { return e.To })
 	}
 	return a.preds
 }
@@ -119,10 +157,7 @@ func (a *Analysis) Succs() [][]Edge {
 
 func (a *Analysis) succsLocked() [][]Edge {
 	if a.succs == nil {
-		a.succs = make([][]Edge, len(a.loop.Ops))
-		for _, e := range a.loop.Edges {
-			a.succs[e.From] = append(a.succs[e.From], e)
-		}
+		a.succs = a.edgeListsLocked(func(e Edge) int { return e.From })
 	}
 	return a.succs
 }
@@ -133,13 +168,31 @@ func (a *Analysis) Adjacency() [][]int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.adj == nil {
-		a.adj = make([][]int, len(a.loop.Ops))
-		for _, e := range a.loop.Edges {
+		n := len(a.loop.Ops)
+		edges := a.loop.Edges
+		cnt := a.countsLocked(n)
+		m := 0
+		for _, e := range edges {
 			if e.From != e.To {
-				a.adj[e.From] = append(a.adj[e.From], e.To)
-				a.adj[e.To] = append(a.adj[e.To], e.From)
+				cnt[e.From]++
+				cnt[e.To]++
+				m += 2
 			}
 		}
+		slab := make([]int, m)
+		heads := make([][]int, n)
+		off := 0
+		for v := 0; v < n; v++ {
+			heads[v] = slab[off : off : off+cnt[v]]
+			off += cnt[v]
+		}
+		for _, e := range edges {
+			if e.From != e.To {
+				heads[e.From] = append(heads[e.From], e.To)
+				heads[e.To] = append(heads[e.To], e.From)
+			}
+		}
+		a.adj = heads
 	}
 	return a.adj
 }
@@ -187,13 +240,69 @@ func (a *Analysis) RecurrenceOps() map[int]bool {
 // (Validate rejects such loops).
 func (a *Analysis) topoZeroLocked() []int {
 	if a.topoZero == nil {
-		order := topoOrderZeroDist(len(a.loop.Ops), a.loop.Edges)
+		order := a.topoOrderZeroDistLocked()
 		if order == nil {
 			order = []int{} // non-nil marks "computed"
 		}
 		a.topoZero = order
 	}
 	return a.topoZero
+}
+
+// topoOrderZeroDistLocked is topoOrderZeroDist over slab scratch: the
+// counting scratch doubles as the flat adjacency offsets and the output
+// order doubles as the Kahn queue.
+func (a *Analysis) topoOrderZeroDistLocked() []int {
+	n := len(a.loop.Ops)
+	edges := a.loop.Edges
+	cnt := a.countsLocked(n)
+	indeg := make([]int, n)
+	m := 0
+	for _, e := range edges {
+		if e.Dist == 0 {
+			cnt[e.From]++
+			indeg[e.To]++
+			m++
+		}
+	}
+	// Prefix sums turn cnt into fill cursors; after the fill pass cnt[v]
+	// is the end offset of v's slice (its start is cnt[v-1]).
+	flat := make([]int, m)
+	sum := 0
+	for v := 0; v < n; v++ {
+		c := cnt[v]
+		cnt[v] = sum
+		sum += c
+	}
+	for _, e := range edges {
+		if e.Dist == 0 {
+			flat[cnt[e.From]] = e.To
+			cnt[e.From]++
+		}
+	}
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			order = append(order, v)
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		lo := 0
+		if v > 0 {
+			lo = cnt[v-1]
+		}
+		for _, w := range flat[lo:cnt[v]] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				order = append(order, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil
+	}
+	return order
 }
 
 func (a *Analysis) modelLocked(model machine.CycleModel) *modelAnalysis {
@@ -373,23 +482,24 @@ func (a *Analysis) MII(model machine.CycleModel, buses, fpus int) int {
 // condensation.
 func tarjanSCCs(n int, succs [][]Edge) [][]int {
 	const unvisited = -1
-	index := make([]int, n)
-	low := make([]int, n)
+	il := make([]int, 2*n) // index and low as one slab
+	index, low := il[:n:n], il[n:]
 	onStack := make([]bool, n)
 	for i := range index {
 		index[i] = unvisited
 	}
-	var (
-		stack   []int
-		counter int
-		out     [][]int
-	)
+	var counter int
+	stack := make([]int, 0, n)
+	out := make([][]int, 0, n)
+	// Every vertex lands in exactly one component, so all components are
+	// carved from one shared n-int buffer.
+	buf := make([]int, 0, n)
 
 	type frame struct {
 		v    int
 		edge int
 	}
-	var call []frame
+	call := make([]frame, 0, n)
 	for root := 0; root < n; root++ {
 		if index[root] != unvisited {
 			continue
@@ -428,17 +538,17 @@ func tarjanSCCs(n int, succs [][]Edge) [][]int {
 				}
 			}
 			if low[v] == index[v] {
-				var comp []int
+				start := len(buf)
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
-					comp = append(comp, w)
+					buf = append(buf, w)
 					if w == v {
 						break
 					}
 				}
-				out = append(out, comp)
+				out = append(out, buf[start:len(buf):len(buf)])
 			}
 		}
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/machine"
+	"repro/internal/perfcost"
+	"repro/internal/textplot"
+)
+
+// Every result renders through a reusable textplot.RenderBuffer: the
+// cell texts live in the buffer's arena (strconv-formatted, no
+// fmt.Sprintf per cell) and the exporters thread one pooled buffer
+// through a whole artifact batch (see sweep.BufferRenderer). Render()
+// stays on every result for render-only consumers; it borrows a pooled
+// buffer for the duration of one call.
+
+// bufferRenderer matches sweep.BufferRenderer without importing it here.
+type bufferRenderer interface {
+	RenderTo(*textplot.RenderBuffer)
+}
+
+// renderString renders through a pooled workspace.
+func renderString(r bufferRenderer) string {
+	b := textplot.GetBuffer()
+	defer textplot.PutBuffer(b)
+	r.RenderTo(b)
+	return b.String()
+}
+
+// cfgCell appends a machine configuration cell in XwY notation,
+// byte-identical to machine.Config.String().
+func cfgCell(t *textplot.Cells, c machine.Config) {
+	t.Open()
+	t.Int(c.Buses)
+	t.Str("w")
+	t.Int(c.Width)
+	t.Close()
+}
+
+// labelCell appends a design-point label cell, byte-identical to
+// perfcost.Point.Label() ("XwY(regs:parts)").
+func labelCell(t *textplot.Cells, p perfcost.Point) {
+	t.Open()
+	t.Int(p.Config.Buses)
+	t.Str("w")
+	t.Int(p.Config.Width)
+	t.Str("(")
+	t.Int(p.Regs)
+	t.Str(":")
+	t.Int(p.Partitions)
+	t.Str(")")
+	t.Close()
+}

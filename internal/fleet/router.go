@@ -25,6 +25,10 @@ const maxProxyBody = 256 << 20
 // maxStreamLine mirrors serve.Client's NDJSON line bound.
 const maxStreamLine = 1 << 20
 
+// trailerPrefix mirrors serve.Client's trailer probe: every SweepTrailer
+// line opens with it, no Point line does.
+var trailerPrefix = []byte(`{"done":`)
+
 // proxyResult is one successful buffered attempt.
 type proxyResult struct {
 	status      int
@@ -453,6 +457,11 @@ func (rt *Router) streamAttempt(ctx context.Context, addr string, body []byte, s
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
 	n := 0
+	// One splice buffer per stream: sc.Bytes() aliases the scanner's
+	// internal buffer, so the forwarded line + '\n' is assembled in a
+	// buffer we own (and reuse across points) rather than a fresh
+	// append-copy per point.
+	var out []byte
 	for sc.Scan() {
 		line := sc.Bytes()
 		if !json.Valid(line) {
@@ -463,13 +472,18 @@ func (rt *Router) streamAttempt(ctx context.Context, addr string, body []byte, s
 			// so the fragment would never be completed. Drop it and retry.
 			return fmt.Errorf("fleet: %w: backend %s sent a partial line after %d point(s)", serve.ErrTruncatedStream, addr, n)
 		}
-		var t serve.SweepTrailer
-		if json.Unmarshal(line, &t) == nil && t.Done {
-			if t.Points != n || n < *sent {
-				return fmt.Errorf("fleet: %w: backend %s trailer reports %d point(s), saw %d (already delivered %d)",
-					serve.ErrTruncatedStream, addr, t.Points, n, *sent)
+		// Trailer lines (and only they) open with {"done": — Point lines
+		// lead with "label" — so the per-point cost of the trailer probe
+		// is one byte comparison, not a speculative decode.
+		if bytes.HasPrefix(line, trailerPrefix) {
+			var t serve.SweepTrailer
+			if json.Unmarshal(line, &t) == nil && t.Done {
+				if t.Points != n || n < *sent {
+					return fmt.Errorf("fleet: %w: backend %s trailer reports %d point(s), saw %d (already delivered %d)",
+						serve.ErrTruncatedStream, addr, t.Points, n, *sent)
+				}
+				return nil
 			}
-			return nil
 		}
 		n++
 		if n <= *sent {
@@ -479,7 +493,8 @@ func (rt *Router) streamAttempt(ctx context.Context, addr string, body []byte, s
 			writeStreamHeader(w)
 			*headerWritten = true
 		}
-		if _, err := w.Write(append(line, '\n')); err != nil {
+		out = append(append(out[:0], line...), '\n')
+		if _, err := w.Write(out); err != nil {
 			return fmt.Errorf("%w: %v", errClientGone, err)
 		}
 		*sent = n

@@ -266,20 +266,36 @@ func ConfigsWithFactor(factor int) []Config {
 	if factor < 1 || factor&(factor-1) != 0 {
 		panic(fmt.Sprintf("machine: factor %d is not a positive power of two", factor))
 	}
-	var out []Config
+	out := make([]Config, 0, log2(factor)+1)
 	for x := factor; x >= 1; x /= 2 {
 		out = append(out, Config{Buses: x, Width: factor / x})
 	}
 	return out
 }
 
+// log2 returns floor(log2(n)) for n >= 1.
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n /= 2
+		k++
+	}
+	return k
+}
+
 // ConfigsUpToFactor enumerates all power-of-two configurations with factor
 // 1, 2, 4, ..., maxFactor, in increasing factor order (the full design space
 // of Figure 2 uses maxFactor = 128).
 func ConfigsUpToFactor(maxFactor int) []Config {
-	var out []Config
+	n := 0
 	for f := 1; f <= maxFactor; f *= 2 {
-		out = append(out, ConfigsWithFactor(f)...)
+		n += log2(f) + 1
+	}
+	out := make([]Config, 0, n)
+	for f := 1; f <= maxFactor; f *= 2 {
+		for x := f; x >= 1; x /= 2 {
+			out = append(out, Config{Buses: x, Width: f / x})
+		}
 	}
 	return out
 }
@@ -322,7 +338,13 @@ func (rf RegFile) Validate() error {
 // (each block serves an integral share of the buses and FPUs). For 8w1
 // these are 1, 2, 4 and 8, matching Figure 6 and Table 5.
 func (c Config) ValidPartitions() []int {
-	var out []int
+	cnt := 0
+	for n := 1; n <= c.Buses; n *= 2 {
+		if c.Buses%n == 0 {
+			cnt++
+		}
+	}
+	out := make([]int, 0, cnt)
 	for n := 1; n <= c.Buses; n *= 2 {
 		if c.Buses%n == 0 {
 			out = append(out, n)

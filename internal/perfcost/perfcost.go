@@ -45,10 +45,20 @@ import (
 	"repro/internal/workload"
 )
 
+// wsPool holds scheduling workspaces shared by every engine in the
+// process. Pooling at package scope rather than per engine is deliberate:
+// serve's LRU evicts and rebuilds engines under churn, and a rehydrated
+// engine draws already-warm arenas from the pool instead of paying the
+// full cold-start allocation cost again.
+var wsPool = sync.Pool{New: func() any { return sched.NewWorkspace() }}
+
 // Engine evaluates configurations over a fixed workbench. All entry points
 // are safe for concurrent use: the sweep orchestrator hammers one engine
 // from many goroutines, and the singleflight caches guarantee each unique
 // (config, registers, cycle model) cell is scheduled exactly once.
+// Scheduling scratch is drawn from a process-wide workspace pool, so even
+// a freshly built engine (or one rebuilt after cache eviction) reuses the
+// arenas warmed by its predecessors.
 type Engine struct {
 	loops []*ddg.Loop
 	// workload names the scenario the loops came from ("" for engines
@@ -408,7 +418,18 @@ func (e *Engine) computeSuite(c machine.Config, regs int, model machine.CycleMod
 	}
 	parts := make([]partial, len(loops))
 	e.eachLoop(len(loops), func(i int) {
-		r, err := spill.Schedule(loops[i], m, e.spill)
+		// Scheduling scratch comes from the process-wide pool: the shared
+		// spill options are copied per task so each worker can attach its
+		// own workspace without racing the other goroutines (or mutating
+		// options the caller still owns).
+		ws := wsPool.Get().(*sched.Workspace)
+		defer wsPool.Put(ws)
+		so := spill.Options{}
+		if e.spill != nil {
+			so = *e.spill
+		}
+		so.Workspace = ws
+		r, err := spill.Schedule(loops[i], m, &so)
 		if err != nil || !r.OK {
 			// Charge the loop its non-pipelined cost: one flat
 			// schedule span per (unrolled) iteration. Registers at
@@ -416,7 +437,8 @@ func (e *Engine) computeSuite(c machine.Config, regs int, model machine.CycleMod
 			// here is "the compiler emits unpipelined code".
 			parts[i].failed = true
 			if flat, ferr := sched.ModuloSchedule(loops[i],
-				machine.New(c, 1<<20, model), nil); ferr == nil {
+				machine.New(c, 1<<20, model),
+				&sched.Options{Workspace: ws}); ferr == nil {
 				parts[i].cycles = float64(e.loops[i].Trips) *
 					float64(flat.Length()) / float64(c.Width)
 			}

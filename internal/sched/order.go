@@ -19,6 +19,14 @@ type OrderFunc func(l *ddg.Loop, model machine.CycleModel) []int
 // — the register-pressure-sensitivity that HRMS (and its successor Swing
 // Modulo Scheduling) brings over plain top-down list ordering.
 func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
+	return hrmsOrder(l, model, nil)
+}
+
+// hrmsOrder is HRMSOrder with an optional scratch workspace: with one,
+// the slack/occupancy and mark arrays (and the returned order, which the
+// caller consumes before the next scheduling call) come from reusable
+// slabs instead of per-call allocations.
+func hrmsOrder(l *ddg.Loop, model machine.CycleModel, ws *Workspace) []int {
 	n := l.NumOps()
 	if n == 0 {
 		return nil
@@ -30,7 +38,33 @@ func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
 	a := l.Analysis()
 	asap := a.ASAP(model)
 	alap := a.ALAP(model)
-	slack := make([]int, n)
+
+	var slack, occ []int
+	var ordered, frontier []bool
+	var order []int
+	if ws != nil {
+		if cap(ws.hrmsInts) < 2*n {
+			ws.hrmsInts = make([]int, 2*n)
+		}
+		slack, occ = ws.hrmsInts[0:n:n], ws.hrmsInts[n:2*n]
+		if cap(ws.hrmsBools) < 2*n {
+			ws.hrmsBools = make([]bool, 2*n)
+		}
+		ordered, frontier = ws.hrmsBools[0:n:n], ws.hrmsBools[n:2*n]
+		for v := 0; v < n; v++ {
+			ordered[v], frontier[v] = false, false
+		}
+		if cap(ws.order) < n {
+			ws.order = make([]int, 0, n)
+		}
+		order = ws.order[:0]
+	} else {
+		si := make([]int, 2*n)
+		slack, occ = si[0:n:n], si[n:]
+		sb := make([]bool, 2*n)
+		ordered, frontier = sb[0:n:n], sb[n:] // frontier: unordered nodes adjacent to ordered set
+		order = make([]int, 0, n)
+	}
 	for v := 0; v < n; v++ {
 		slack[v] = alap[v] - asap[v]
 	}
@@ -42,15 +76,10 @@ func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
 	// Undirected adjacency for frontier expansion.
 	adj := a.Adjacency()
 
-	ordered := make([]bool, n)
-	frontier := make([]bool, n) // unordered nodes adjacent to ordered set
-	var order []int
-
 	// Occupancy priority: non-pipelined operations reserve many rows and
 	// fragment badly if placed late, so they go as early as the frontier
 	// allows.
-	occ := make([]int, n)
-	for v := range occ {
+	for v := 0; v < n; v++ {
 		occ[v] = model.Occupancy(l.Ops[v].Kind)
 	}
 
@@ -108,6 +137,9 @@ func HRMSOrder(l *ddg.Loop, model machine.CycleModel) []int {
 			v = pickSeed()
 		}
 		add(v)
+	}
+	if ws != nil {
+		ws.order = order
 	}
 	return order
 }

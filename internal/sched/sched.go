@@ -178,7 +178,30 @@ type Options struct {
 	// MaxII caps the II search; 0 derives a safe cap from the loop (the
 	// cap at which a schedule provably exists for the greedy placement).
 	MaxII int
+	// Workspace, when set, serves the call's ordering and placement
+	// scratch from a reusable arena instead of fresh allocations — the
+	// cold-start path of an engine evaluating many loops in sequence. The
+	// returned Schedule never aliases the workspace.
+	Workspace *Workspace
 }
+
+// Workspace is a reusable scheduling scratch arena: the ordering and
+// placement state that does not escape into the returned Schedule
+// (ranks, frontier marks, the lazy-deletion heap, the modulo reservation
+// table and its per-unit index). A zero Workspace is ready to use; it
+// grows to the largest loop it has scheduled and is NOT safe for
+// concurrent use — callers pool one per worker (see perfcost).
+type Workspace struct {
+	ints      []int  // rank + lastForced + heap seed, one 3n slab
+	placed    []bool // placement marks
+	hrmsInts  []int  // HRMS slack + occupancy, one 2n slab
+	hrmsBools []bool // HRMS ordered + frontier marks, one 2n slab
+	order     []int  // HRMS output, reused across calls
+	p         placer // placer header (holds the reservation table across calls)
+}
+
+// NewWorkspace returns an empty scheduling workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
 
 // ErrNoSchedule is returned when no II up to the cap admits a schedule.
 var ErrNoSchedule = errors.New("sched: no feasible schedule within II budget")
@@ -203,14 +226,15 @@ func ModuloSchedule(l *ddg.Loop, m machine.Machine, opts *Options) (*Schedule, e
 	if opts != nil {
 		o = *opts
 	}
-	orderFn := o.Order
-	if orderFn == nil {
-		orderFn = HRMSOrder
-	}
 	buses, fpus := m.Slots()
 	model := m.Model
 
-	order := orderFn(l, model)
+	var order []int
+	if o.Order != nil {
+		order = o.Order(l, model)
+	} else {
+		order = hrmsOrder(l, model, o.Workspace)
+	}
 	if len(order) != l.NumOps() {
 		return nil, fmt.Errorf("sched: ordering returned %d of %d ops", len(order), l.NumOps())
 	}
@@ -227,7 +251,7 @@ func ModuloSchedule(l *ddg.Loop, m machine.Machine, opts *Options) (*Schedule, e
 	// One scratch arena serves the whole II search: the placement state
 	// (times, reservations, heap, reservation table) is reset in place at
 	// each candidate II instead of being reallocated.
-	sc := newPlacer(l, model, order, a.Preds(), a.Succs(), a.ASAP(model))
+	sc := newPlacer(l, model, order, a.Preds(), a.Succs(), a.ASAP(model), o.Workspace)
 	for ii := mii; ii <= maxII; ii++ {
 		if s, ok := sc.tryPlace(buses, fpus, ii); ok {
 			s.Buses, s.FPUs = buses, fpus
@@ -290,18 +314,44 @@ type placer struct {
 }
 
 func newPlacer(l *ddg.Loop, model machine.CycleModel, order []int,
-	preds, succs [][]ddg.Edge, asap []int) *placer {
+	preds, succs [][]ddg.Edge, asap []int, ws *Workspace) *placer {
 
 	n := l.NumOps()
-	p := &placer{
-		l: l, model: model, order: order,
-		preds: preds, succs: succs, asap: asap,
-		rank:       make([]int, n),
-		time:       make([]int, n),
-		res:        make([]mrt.Reservation, n),
-		placed:     make([]bool, n),
-		lastForced: make([]int, n),
-		heap:       make([]int, 0, n),
+	var p *placer
+	var ints []int
+	if ws != nil {
+		// Reuse the workspace's placer header (it carries the reservation
+		// table and per-unit index across calls) and its scratch slab.
+		p = &ws.p
+		if cap(ws.ints) < 3*n {
+			ws.ints = make([]int, 3*n)
+		}
+		ints = ws.ints
+		if cap(ws.placed) < n {
+			ws.placed = make([]bool, n)
+		}
+		p.placed = ws.placed[:n]
+	} else {
+		p = &placer{}
+		ints = make([]int, 3*n)
+		p.placed = make([]bool, n)
+	}
+	p.l, p.model, p.order = l, model, order
+	p.preds, p.succs, p.asap = preds, succs, asap
+	p.rank = ints[0:n:n]
+	p.lastForced = ints[n : 2*n : 2*n]
+	p.heap = ints[2*n : 2*n : 3*n]
+	p.victims = p.victims[:0]
+
+	// time and res escape into the returned Schedule, so they are always
+	// freshly allocated. Every reservation starts with a one-span slot
+	// carved from one shared slab: the common case (occupancy <= II) fills
+	// it in place, so placement allocates no spans at all.
+	p.time = make([]int, n)
+	p.res = make([]mrt.Reservation, n)
+	spans := make([]mrt.Span, n)
+	for v := range p.res {
+		p.res[v].Spans = spans[v : v : v+1]
 	}
 	for i, v := range order {
 		p.rank[v] = i

@@ -167,6 +167,12 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, er
 // maxStreamLine bounds one NDJSON line of a sweep stream.
 const maxStreamLine = 1 << 20
 
+// trailerPrefix starts every SweepTrailer line ({"done":true,...}) and no
+// Point line (those lead with "label"), so stream consumers can probe for
+// the trailer with a byte comparison instead of a speculative JSON decode
+// of every point line.
+var trailerPrefix = []byte(`{"done":`)
+
 // SweepStream calls POST /v1/sweep?stream=1 and invokes fn for each
 // point as it arrives, in submission order. The server terminates the
 // stream with a SweepTrailer line; a stream that ends without one — or
@@ -190,15 +196,18 @@ func (c *Client) SweepStream(ctx context.Context, req SweepRequest, fn func(Poin
 	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLine)
 	received := 0
 	for sc.Scan() {
-		// The trailer probe runs first: a Point line decodes into
-		// SweepTrailer with Done=false (no "done" key), and a trailer
-		// line would otherwise decode into a zero Point.
-		var t SweepTrailer
-		if json.Unmarshal(sc.Bytes(), &t) == nil && t.Done {
-			if t.Points != received {
-				return fmt.Errorf("serve: %w: trailer reports %d point(s), received %d (lost points in transit)", ErrTruncatedStream, t.Points, received)
+		// The trailer probe runs first: only lines opening with the
+		// trailer's leading key are decoded as SweepTrailer (Point lines
+		// lead with "label"), so the common point line costs one byte
+		// comparison instead of a speculative decode.
+		if bytes.HasPrefix(sc.Bytes(), trailerPrefix) {
+			var t SweepTrailer
+			if json.Unmarshal(sc.Bytes(), &t) == nil && t.Done {
+				if t.Points != received {
+					return fmt.Errorf("serve: %w: trailer reports %d point(s), received %d (lost points in transit)", ErrTruncatedStream, t.Points, received)
+				}
+				return nil
 			}
-			return nil
 		}
 		var p Point
 		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {

@@ -40,6 +40,10 @@ type Options struct {
 	MaxIIGrowth int
 	// Order overrides the scheduler's ordering heuristic (nil = HRMS).
 	Order sched.OrderFunc
+	// Workspace, when set, serves every reschedule's ordering and
+	// placement scratch from one reusable arena (see sched.Workspace).
+	// Not safe for concurrent use; the engine pools one per worker.
+	Workspace *sched.Workspace
 }
 
 func (o *Options) withDefaults() Options {
@@ -92,7 +96,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 
 	var res Result
 
-	s, err := sched.ModuloSchedule(cur, m, &sched.Options{Order: o.Order})
+	s, err := sched.ModuloSchedule(cur, m, &sched.Options{Order: o.Order, Workspace: o.Workspace})
 	if err != nil {
 		return Result{}, fmt.Errorf("spill: base schedule: %w", err)
 	}
@@ -161,7 +165,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 		} else if minII <= s.II {
 			minII = s.II + s.II/4 + 1
 		}
-		s, err = sched.ModuloSchedule(cur, m, &sched.Options{Order: o.Order, MinII: minII})
+		s, err = sched.ModuloSchedule(cur, m, &sched.Options{Order: o.Order, MinII: minII, Workspace: o.Workspace})
 		if err != nil {
 			return Result{}, fmt.Errorf("spill: reschedule round %d: %w", round+1, err)
 		}
@@ -253,7 +257,7 @@ type grown struct {
 func growII(l *ddg.Loop, m machine.Machine, o *Options, avail, startII, maxII int,
 	ls *lifetimes.Set, search *regalloc.Search) (grown, bool) {
 	for ii := startII; ii <= maxII; {
-		forced, err := sched.ModuloSchedule(l, m, &sched.Options{Order: o.Order, MinII: ii})
+		forced, err := sched.ModuloSchedule(l, m, &sched.Options{Order: o.Order, MinII: ii, Workspace: o.Workspace})
 		if err != nil {
 			return grown{}, false
 		}

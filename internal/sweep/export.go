@@ -4,9 +4,12 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/textplot"
 )
 
 // ParseFormats parses a comma-separated export format list ("json,csv"),
@@ -43,6 +46,15 @@ type Artifact interface {
 // the terminal render draws.
 type Tabular interface {
 	Table() [][]string
+}
+
+// BufferRenderer is implemented by artifacts that can render into a
+// reusable textplot workspace instead of building a string per call.
+// Export threads one pooled buffer through a whole artifact batch; every
+// experiments result implements it, and the rendering is byte-identical
+// to Render() (the experiments package's differential test pins both).
+type BufferRenderer interface {
+	RenderTo(*textplot.RenderBuffer)
 }
 
 // RawArtifact is implemented by artifacts that carry their own canonical
@@ -86,11 +98,21 @@ func ExportJSON(dir string, a Artifact) (string, error) {
 	return writeArtifact(dir, a.ID()+".json", buf)
 }
 
+// WriteCSV encodes the artifact's primary table onto w. Artifacts that
+// are not Tabular are reported as such.
+func WriteCSV(w io.Writer, a Artifact) error {
+	tab, ok := a.(Tabular)
+	if !ok {
+		return fmt.Errorf("sweep: %s has no tabular form", a.ID())
+	}
+	cw := csv.NewWriter(w)
+	return cw.WriteAll(tab.Table())
+}
+
 // ExportCSV writes dir/<id>.csv with the artifact's primary table and
 // returns the path. Artifacts that are not Tabular are reported as such.
 func ExportCSV(dir string, a Artifact) (string, error) {
-	tab, ok := a.(Tabular)
-	if !ok {
+	if _, ok := a.(Tabular); !ok {
 		return "", fmt.Errorf("sweep: %s has no tabular form", a.ID())
 	}
 	path := filepath.Join(dir, a.ID()+".csv")
@@ -101,8 +123,7 @@ func ExportCSV(dir string, a Artifact) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	w := csv.NewWriter(f)
-	if err := w.WriteAll(tab.Table()); err != nil {
+	if err := WriteCSV(f, a); err != nil {
 		f.Close()
 		return "", err
 	}
@@ -112,17 +133,34 @@ func ExportCSV(dir string, a Artifact) (string, error) {
 	return path, nil
 }
 
+// renderInto renders the artifact through the workspace when it supports
+// one (all experiment results), falling back to Render() for artifacts
+// that only carry a string form (cache-rehydrated artifacts).
+func renderInto(b *textplot.RenderBuffer, a Artifact) []byte {
+	b.Reset()
+	if br, ok := a.(BufferRenderer); ok {
+		br.RenderTo(b)
+		return b.Bytes()
+	}
+	b.Str(a.Render())
+	return b.Bytes()
+}
+
 // ExportText writes dir/<id>.txt with the terminal render and returns the
 // path.
 func ExportText(dir string, a Artifact) (string, error) {
-	return writeArtifact(dir, a.ID()+".txt", []byte(a.Render()))
+	b := textplot.GetBuffer()
+	defer textplot.PutBuffer(b)
+	return writeArtifact(dir, a.ID()+".txt", renderInto(b, a))
 }
 
 // Export writes every artifact in every requested format (see
 // ParseFormats) into dir and returns the written paths. Non-tabular
 // artifacts are skipped by the CSV exporter rather than failing the
-// batch.
+// batch. One pooled render workspace serves the whole batch.
 func Export(dir string, formats []string, artifacts []Artifact) ([]string, error) {
+	b := textplot.GetBuffer()
+	defer textplot.PutBuffer(b)
 	var paths []string
 	for _, a := range artifacts {
 		for _, format := range formats {
@@ -139,7 +177,7 @@ func Export(dir string, formats []string, artifacts []Artifact) ([]string, error
 				}
 				p, err = ExportCSV(dir, a)
 			case "txt":
-				p, err = ExportText(dir, a)
+				p, err = writeArtifact(dir, a.ID()+".txt", renderInto(b, a))
 			default:
 				return paths, fmt.Errorf("sweep: unknown export format %q (want json, csv or txt)", format)
 			}
