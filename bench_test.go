@@ -283,6 +283,10 @@ func BenchmarkRegisterPressure(b *testing.B) { benchsuite.RegisterPressure(b) }
 // sets (shared with `widening bench`).
 func BenchmarkRegalloc(b *testing.B) { benchsuite.Regalloc(b) }
 
+// BenchmarkExactSolverSmall measures the branch-and-bound exact backend
+// over the workbench's small loops (shared with `widening bench`).
+func BenchmarkExactSolverSmall(b *testing.B) { benchsuite.ExactSolverSmall(b) }
+
 var benchSink *ddg.Loop
 
 // BenchmarkLoopGeneration measures workbench synthesis.

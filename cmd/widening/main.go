@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	widening [-workload NAME|FILE] [-loops N] [-seed S] [-cache DIR] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+//	widening [-workload NAME|FILE] [-loops N] [-seed S] [-cache DIR] [-backend heuristic|exact] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
 //	widening workload list | show | export | import
 //	widening cache stats | gc | clear -dir DIR
 //	widening schedule -config 4w2 -regs 64 -kernel daxpy
@@ -14,7 +14,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
-//	fig2 fig3 fig4 fig6 fig7 fig8 fig9 workloads
+//	fig2 fig3 fig4 fig6 fig7 fig8 fig9 workloads optgap
 //
 // The selected experiments are regenerated concurrently by the sweep
 // orchestrator (the engine's schedule cache deduplicates the design cells
@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/perfcost"
 	"repro/internal/sweep"
 )
 
@@ -83,6 +84,9 @@ func run(args []string) error {
 	format := fs.String("format", "json,csv", "comma-separated export formats: json, csv, txt")
 	cacheDir := fs.String("cache", "",
 		"persistent result cache directory: sweep cells and whole artifacts are memoized across runs (empty = off)")
+	backend := fs.String("backend", "heuristic",
+		"scheduling backend: heuristic, or exact (branch-and-bound refinement of small loops; see the README's Optimality gap section)")
+	exactBudget := fs.Int("exact-budget", 0, "exact backend node budget per loop (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +118,15 @@ func run(args []string) error {
 	ctx, err := resolveContext(*wl, *loops, *seed)
 	if err != nil {
 		return err
+	}
+	switch *backend {
+	case "heuristic":
+	case "exact":
+		// Like AttachCache below, the backend must be set before the
+		// engine serves its first request.
+		ctx.Engine.SetBackend(perfcost.BackendExact, *exactBudget, 0)
+	default:
+		return fmt.Errorf("unknown backend %q (want heuristic or exact)", *backend)
 	}
 	var store *core.ResultCache
 	if *cacheDir != "" {
@@ -211,7 +224,7 @@ func runSchedule(args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  widening [-workload NAME|FILE] [-loops N] [-seed S] [-cache DIR] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
+  widening [-workload NAME|FILE] [-loops N] [-seed S] [-cache DIR] [-backend heuristic|exact] [-out DIR [-format json,csv,txt]] <experiment>... | all | list
   widening workload list
   widening workload show -name divheavy [-loops N] [-seed S]
   widening workload export -name divheavy [-o div.json] [-loops N] [-seed S]

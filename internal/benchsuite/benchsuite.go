@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/ddg"
+	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/lifetimes"
 	"repro/internal/machine"
@@ -41,6 +42,7 @@ func All() []Bench {
 		{"SchedulerCold", SchedulerCold},
 		{"RegisterPressure", RegisterPressure},
 		{"Regalloc", Regalloc},
+		{"ExactSolverSmall", ExactSolverSmall},
 		{"Table5Implementable", Table5Implementable},
 		{"Render", Render},
 		{"ExportCSV", ExportCSV},
@@ -189,6 +191,37 @@ func Regalloc(b *testing.B) {
 			if search.Fits(regs, regalloc.EndFit) && regs < min {
 				b.Fatal("fit below the MinRegs minimum")
 			}
+		}
+	}
+}
+
+// ExactSolverSmall measures the branch-and-bound exact backend over the
+// small loops of the workbench slice — one full Solve per iteration:
+// heuristic baseline, II refutation search, exact register packing. This
+// is the per-loop cost of the optgap experiment and the exact perfcost
+// backend, so its trajectory guards both.
+func ExactSolverSmall(b *testing.B) {
+	loops := workbench(b, 40)
+	var small []*ddg.Loop
+	for _, l := range loops {
+		if l.NumOps() <= exact.DefaultMaxOps {
+			small = append(small, l)
+		}
+	}
+	if len(small) == 0 {
+		b.Fatal("no loops within the exact search size on the workbench slice")
+	}
+	m := machine.New(machine.Config{Buses: 2, Width: 1}, 1<<20, machine.FourCycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := small[i%len(small)]
+		r, err := exact.Solve(l, m, &exact.Options{NodeBudget: 20_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.II > r.HeurII {
+			b.Fatal("exact II above the heuristic incumbent")
 		}
 	}
 }

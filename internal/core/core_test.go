@@ -177,7 +177,7 @@ func TestRunExperimentSmoke(t *testing.T) {
 	if _, err := RunExperiment("nope", 5); err == nil {
 		t.Error("unknown experiment must error")
 	}
-	if len(ExperimentIDs()) != 14 {
+	if len(ExperimentIDs()) != 15 {
 		t.Errorf("%d experiment ids", len(ExperimentIDs()))
 	}
 }

@@ -552,6 +552,85 @@ func oldRenderWorkloads(r *WorkloadsResult) string {
 	return b.String()
 }
 
+func oldOptgapTable(r *OptgapResult) [][]string {
+	rows := [][]string{{"loop", "ops", "searched", "heur_ii", "exact_ii", "lower_ii",
+		"ii_proved", "heur_regs", "exact_regs", "regs_lower", "regs_proved", "nodes"}}
+	for _, g := range r.Loops {
+		rows = append(rows, []string{
+			g.Name,
+			fmt.Sprint(g.Ops),
+			fmt.Sprint(g.Searched),
+			fmt.Sprint(g.HeurII),
+			fmt.Sprint(g.ExactII),
+			fmt.Sprint(g.LowerII),
+			fmt.Sprint(g.IIProved),
+			fmt.Sprint(g.HeurRegs),
+			fmt.Sprint(g.ExactRegs),
+			fmt.Sprint(g.RegsLower),
+			fmt.Sprint(g.RegsProved),
+			fmt.Sprint(g.Nodes),
+		})
+	}
+	return rows
+}
+
+func oldRenderOptgap(r *OptgapResult) string {
+	searched, iiProved, regsProved, interesting := r.searchedStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "exact branch-and-bound vs heuristic pipeline on 2w1, unconstrained registers; search on loops <= %d ops, %d nodes/loop (larger loops: bounds only)\n",
+		r.MaxOps, r.NodeBudget)
+	fmt.Fprintf(&b, "workbench %s: %d loops (%d searched exactly); II optimal proved %d/%d, register count proved %d/%d\n\n",
+		r.Workload, len(r.Loops), searched, iiProved, len(r.Loops), regsProved, len(r.Loops))
+	rows := [][]string{{"workload", "loops", "small", "ii_proved", "ii_gaps",
+		"max_ii_gap", "regs_proved", "regs_gaps", "max_regs_gap", "nodes"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprint(row.Loops),
+			fmt.Sprint(row.Small),
+			fmt.Sprint(row.IIProved),
+			fmt.Sprint(row.IIGapLoops),
+			fmt.Sprint(row.IIGapMax),
+			fmt.Sprint(row.RegsProved),
+			fmt.Sprint(row.RegsGapLoops),
+			fmt.Sprint(row.RegsGapMax),
+			fmt.Sprint(row.Nodes),
+		})
+	}
+	b.WriteString(oldTable(rows))
+	b.WriteByte('\n')
+	if interesting == 0 {
+		b.WriteString("every searched workbench loop: heuristic II and register count proved optimal\n")
+		return b.String()
+	}
+	shown := interesting
+	if shown > optgapDetail {
+		shown = optgapDetail
+	}
+	fmt.Fprintf(&b, "workbench loops with a gap or unproved optimum (%d of %d):\n", shown, interesting)
+	det := [][]string{{"loop", "ops", "heur_ii", "exact_ii", "lower_ii",
+		"ii_proved", "heur_regs", "exact_regs"}}
+	n := 0
+	for _, g := range r.Loops {
+		if !g.interesting() || n == optgapDetail {
+			continue
+		}
+		n++
+		det = append(det, []string{
+			g.Name,
+			fmt.Sprint(g.Ops),
+			fmt.Sprint(g.HeurII),
+			fmt.Sprint(g.ExactII),
+			fmt.Sprint(g.LowerII),
+			fmt.Sprint(g.IIProved),
+			fmt.Sprint(g.HeurRegs),
+			fmt.Sprint(g.ExactRegs),
+		})
+	}
+	b.WriteString(oldTable(det))
+	return b.String()
+}
+
 // oldArtifact dispatches a result to its retained pre-arena Table and
 // Render bodies.
 func oldArtifact(res Result) (table [][]string, render string, ok bool) {
@@ -593,6 +672,8 @@ func oldArtifact(res Result) (table [][]string, render string, ok bool) {
 		return oldFig9Table(r), oldRenderFig9(r), true
 	case *WorkloadsResult:
 		return oldWorkloadsTable(r), oldRenderWorkloads(r), true
+	case *OptgapResult:
+		return oldOptgapTable(r), oldRenderOptgap(r), true
 	}
 	return nil, "", false
 }

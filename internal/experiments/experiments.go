@@ -42,7 +42,7 @@ var _ = []interface {
 	(*Table4Result)(nil), (*Table5Result)(nil), (*Table6Result)(nil),
 	(*Fig2Result)(nil), (*Fig3Result)(nil), (*Fig4Result)(nil),
 	(*Fig6Result)(nil), (*Fig7Result)(nil), (*Fig8Result)(nil),
-	(*Fig9Result)(nil), (*WorkloadsResult)(nil),
+	(*Fig9Result)(nil), (*WorkloadsResult)(nil), (*OptgapResult)(nil),
 }
 
 // Context carries the workload-backed engine the drivers share.
@@ -123,6 +123,7 @@ var registry = []runner{
 	{"fig8", "Performance/cost trade-offs at 0.25um", false, func(c *Context) (Result, error) { return Fig8(c.Engine) }},
 	{"fig9", "Top five configurations per technology", false, func(c *Context) (Result, error) { return Fig9(c.Engine) }},
 	{"workloads", "Cross-workload sensitivity of the headline design points", false, func(c *Context) (Result, error) { return Workloads(c) }},
+	{"optgap", "Heuristic optimality gap vs the exact branch-and-bound backend", false, func(c *Context) (Result, error) { return Optgap(c) }},
 }
 
 // Static reports whether the experiment's artifact is workload-independent

@@ -184,8 +184,8 @@ func TestRunManyOrderAndErrors(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Fatalf("%d experiments, want 14", len(ids))
+	if len(ids) != 15 {
+		t.Fatalf("%d experiments, want 15", len(ids))
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

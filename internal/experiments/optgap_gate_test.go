@@ -1,0 +1,148 @@
+package experiments
+
+// TestOptgapGate is the CI optimality-gap gate. It reruns the exact solver
+// over a pinned small workbench slice and compares the heuristic-vs-exact
+// gaps against the recorded table in testdata/optgap.golden: a heuristic
+// regression that widens any loop's II or register gap fails the gate,
+// while an improvement (a narrower gap) passes and can be locked in with
+//
+//	go test ./internal/experiments -run TestOptgapGate -update
+//
+// The slice is pinned (workload, size, seed, machine, solver budget) so
+// the recorded gaps are byte-stable across runs and machines.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const (
+	// optgapGateLoops/optgapGateSeed pin the gate's workbench slice.
+	optgapGateLoops = 40
+	optgapGateSeed  = 11
+)
+
+type optgapGateRow struct {
+	ops, heurII, exactII, iiGap  int
+	heurRegs, exactRegs, regsGap int
+}
+
+func parseOptgapGolden(t *testing.T, data string) (map[string]optgapGateRow, []string) {
+	t.Helper()
+	rows := map[string]optgapGateRow{}
+	var order []string
+	for ln, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 8 {
+			t.Fatalf("optgap.golden line %d: want 8 fields, got %d: %q", ln+1, len(f), line)
+		}
+		var v [7]int
+		for i := 0; i < 7; i++ {
+			n, err := strconv.Atoi(f[i+1])
+			if err != nil {
+				t.Fatalf("optgap.golden line %d: field %d: %v", ln+1, i+2, err)
+			}
+			v[i] = n
+		}
+		rows[f[0]] = optgapGateRow{
+			ops: v[0], heurII: v[1], exactII: v[2], iiGap: v[3],
+			heurRegs: v[4], exactRegs: v[5], regsGap: v[6],
+		}
+		order = append(order, f[0])
+	}
+	return rows, order
+}
+
+func TestOptgapGate(t *testing.T) {
+	w, err := workload.Build(workload.Default, optgapGateLoops, optgapGateSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := optgapMachine()
+
+	var b strings.Builder
+	b.WriteString("# optgap gate table: pinned default workbench slice (loops=40 seed=11) on 2w1.\n")
+	b.WriteString("# Regenerate with: go test ./internal/experiments -run TestOptgapGate -update\n")
+	b.WriteString("# loop ops heur_ii exact_ii ii_gap heur_regs exact_regs regs_gap\n")
+	got := map[string]optgapGateRow{}
+	var order []string
+	for _, l := range w.Loops {
+		g, err := optgapSolveLoop(l, m, optgapNodeBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The solver embeds its own heuristic baseline; cross-check it
+		// against an independent run of the heuristic pipeline so the
+		// recorded gaps can't drift through a baseline bug.
+		hii, hregs, err := optgapHeuristic(l, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.HeurII != hii || g.HeurRegs != hregs {
+			t.Fatalf("%s: solver baseline (II %d, regs %d) disagrees with the heuristic pipeline (II %d, regs %d)",
+				g.Name, g.HeurII, g.HeurRegs, hii, hregs)
+		}
+		if g.ExactII > g.HeurII {
+			t.Fatalf("%s: exact II %d exceeds the heuristic II %d — the solver lost its incumbent",
+				g.Name, g.ExactII, g.HeurII)
+		}
+		got[g.Name] = optgapGateRow{
+			ops: g.Ops, heurII: g.HeurII, exactII: g.ExactII, iiGap: g.IIGap(),
+			heurRegs: g.HeurRegs, exactRegs: g.ExactRegs, regsGap: g.RegsGap(),
+		}
+		order = append(order, g.Name)
+		fmt.Fprintf(&b, "%s %d %d %d %d %d %d %d\n",
+			g.Name, g.Ops, g.HeurII, g.ExactII, g.IIGap(), g.HeurRegs, g.ExactRegs, g.RegsGap())
+	}
+
+	path := filepath.Join("testdata", "optgap.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing gap table (run with -update): %v", err)
+	}
+	recorded, recOrder := parseOptgapGolden(t, string(data))
+	if len(recOrder) != len(order) {
+		t.Errorf("gate slice has %d loops, golden records %d (run -update after changing the slice)",
+			len(order), len(recOrder))
+	}
+	for _, name := range order {
+		rec, ok := recorded[name]
+		if !ok {
+			t.Errorf("%s: not in the recorded gap table (run -update after changing the slice)", name)
+			continue
+		}
+		g := got[name]
+		if g.ops != rec.ops {
+			t.Errorf("%s: loop shape changed (%d ops, golden records %d) — the slice is no longer pinned, run -update",
+				name, g.ops, rec.ops)
+			continue
+		}
+		if g.iiGap > rec.iiGap {
+			t.Errorf("%s: heuristic II gap widened: heuristic II %d vs exact %d (gap %d, recorded %d)",
+				name, g.heurII, g.exactII, g.iiGap, rec.iiGap)
+		}
+		if g.regsGap > rec.regsGap {
+			t.Errorf("%s: heuristic register gap widened: heuristic %d vs exact %d (gap %d, recorded %d)",
+				name, g.heurRegs, g.exactRegs, g.regsGap, rec.regsGap)
+		}
+	}
+}

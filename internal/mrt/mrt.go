@@ -359,6 +359,15 @@ func (t *Table) Used(c Class) int {
 	return total
 }
 
+// UnitUsed returns the number of reserved rows on one unit of a class.
+// Fully-free units (UnitUsed == 0) are interchangeable, which branching
+// searches exploit to prune symmetric placements.
+func (t *Table) UnitUsed(c Class, u int) int { return t.units[c][u].used }
+
+// UnitFree reports whether unit u of class c is free for occ consecutive
+// rows starting at cycle mod II. occ must be in [1, II].
+func (t *Table) UnitFree(c Class, u, cycle, occ int) bool { return t.fits(c, u, cycle, occ) }
+
 // Utilization returns the fraction of reserved rows in a class.
 func (t *Table) Utilization(c Class) float64 {
 	return float64(t.Used(c)) / float64(len(t.units[c])*t.ii)

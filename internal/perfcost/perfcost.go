@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/area"
 	"repro/internal/ddg"
+	"repro/internal/exact"
 	"repro/internal/machine"
 	"repro/internal/resultcache"
 	"repro/internal/sched"
@@ -87,11 +88,39 @@ type Engine struct {
 	fpOnce sync.Once
 	fp     string
 
+	// backend selects the scheduling backend: the default heuristic
+	// pipeline, or exact refinement of small loops (see SetBackend).
+	backend     Backend
+	exactBudget int
+	exactMaxOps int
+
 	widenComputes atomic.Int64
 	suiteComputes atomic.Int64
 	peakComputes  atomic.Int64
 	diskHits      atomic.Int64
 	diskMisses    atomic.Int64
+}
+
+// Backend selects the scheduling implementation behind suite cells.
+type Backend int
+
+const (
+	// BackendHeuristic is the production pipeline: HRMS-ordered modulo
+	// scheduling with spill insertion and Rau end-fit allocation.
+	BackendHeuristic Backend = iota
+	// BackendExact additionally runs the branch-and-bound exact solver on
+	// small loops and keeps its schedule when it is strictly better than
+	// the heuristic one and its register packing fits the register file.
+	// The exact solver never degrades a cell: exhausted budgets fall back
+	// to the heuristic result.
+	BackendExact
+)
+
+func (b Backend) String() string {
+	if b == BackendExact {
+		return "exact"
+	}
+	return "heuristic"
 }
 
 type suiteKey struct {
@@ -123,6 +152,13 @@ type Options struct {
 	// construction (the engine computes correctly without it); callers
 	// that must surface the error open the store themselves and set Cache.
 	CacheDir string
+	// Backend selects the scheduling backend (default BackendHeuristic).
+	Backend Backend
+	// ExactNodeBudget and ExactMaxOps tune BackendExact (defaults
+	// exact.DefaultNodeBudget / exact.DefaultMaxOps); ignored on the
+	// heuristic backend.
+	ExactNodeBudget int
+	ExactMaxOps     int
 }
 
 // New builds an engine over the given workbench.
@@ -151,6 +187,7 @@ func New(loops []*ddg.Loop, opts *Options) *Engine {
 		if e.cache == nil && opts.CacheDir != "" {
 			e.cache, _ = resultcache.Open(opts.CacheDir)
 		}
+		e.SetBackend(opts.Backend, opts.ExactNodeBudget, opts.ExactMaxOps)
 	}
 	e.sem = make(chan struct{}, e.workers)
 	return e
@@ -192,6 +229,26 @@ func (e *Engine) Stats() Stats {
 // race those reads.
 func (e *Engine) AttachCache(store *resultcache.Store) { e.cache = store }
 
+// SetBackend selects the scheduling backend after construction (the CLI
+// path). Like AttachCache it must be called before the engine serves any
+// request: the backend participates in every suite cell and in the
+// persistent-cache fingerprint. nodeBudget and maxOps <= 0 pick the exact
+// package defaults; both are ignored on the heuristic backend.
+func (e *Engine) SetBackend(b Backend, nodeBudget, maxOps int) {
+	e.backend = b
+	if nodeBudget <= 0 {
+		nodeBudget = exact.DefaultNodeBudget
+	}
+	if maxOps <= 0 {
+		maxOps = exact.DefaultMaxOps
+	}
+	e.exactBudget = nodeBudget
+	e.exactMaxOps = maxOps
+}
+
+// Backend returns the engine's scheduling backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
 // Cache returns the attached persistent store (nil when persistence is
 // off).
 func (e *Engine) Cache() *resultcache.Store { return e.cache }
@@ -217,6 +274,11 @@ func (e *Engine) Fingerprint() string {
 		fmt.Fprintf(h, "%s\n", cacheVersion)
 		if e.spill != nil {
 			fmt.Fprintf(h, "spill:%d:%d:%d\n", e.spill.Strategy, e.spill.MaxRounds, e.spill.MaxIIGrowth)
+		}
+		// Backend line only when non-default, so every previously
+		// persisted heuristic cell keeps its key.
+		if e.backend != BackendHeuristic {
+			fmt.Fprintf(h, "backend:%d:%d:%d\n", e.backend, e.exactBudget, e.exactMaxOps)
 		}
 		var n [8]byte
 		for _, l := range e.loops {
@@ -379,6 +441,10 @@ type SuiteResult struct {
 	SpilledLoops int
 	// SpillOps counts inserted spill stores and loads.
 	SpillOps int
+	// ExactRefined counts loops whose cost came from the exact backend
+	// finding a strictly better schedule that still fits the register
+	// file. Always 0 on the heuristic backend.
+	ExactRefined int
 }
 
 // SuiteCycles schedules the whole workbench on XwY with the given register
@@ -415,6 +481,7 @@ func (e *Engine) computeSuite(c machine.Config, regs int, model machine.CycleMod
 		failed   bool
 		spilled  bool
 		spillOps int
+		exact    bool
 	}
 	parts := make([]partial, len(loops))
 	e.eachLoop(len(loops), func(i int) {
@@ -447,6 +514,19 @@ func (e *Engine) computeSuite(c machine.Config, regs int, model machine.CycleMod
 		parts[i].cycles = float64(e.loops[i].Trips) * float64(r.II()) / float64(c.Width)
 		parts[i].spilled = r.SpillStores+r.SpillLoads > 0
 		parts[i].spillOps = r.SpillStores + r.SpillLoads
+		if e.backend == BackendExact && loops[i].NumOps() <= e.exactMaxOps {
+			// Exact refinement is accepted only when it is a strictly
+			// better feasible schedule whose register packing fits the
+			// file without spilling — it can never make a cell worse.
+			eo := exact.Options{NodeBudget: e.exactBudget, MaxOps: e.exactMaxOps, Workspace: ws}
+			if er, xerr := exact.Solve(loops[i], m, &eo); xerr == nil &&
+				er.II < r.II() && er.MinRegs <= m.RF.Regs {
+				parts[i].cycles = float64(e.loops[i].Trips) * float64(er.II) / float64(c.Width)
+				parts[i].spilled = false
+				parts[i].spillOps = 0
+				parts[i].exact = true
+			}
+		}
 	})
 
 	// Accumulate in loop order so the totals are bit-identical no matter
@@ -462,6 +542,9 @@ func (e *Engine) computeSuite(c machine.Config, regs int, model machine.CycleMod
 			res.SpilledLoops++
 		}
 		res.SpillOps += p.spillOps
+		if p.exact {
+			res.ExactRefined++
+		}
 	}
 	// Isolated stragglers ride on the flat-schedule fallback; a point
 	// where pipelining fails broadly is reported unschedulable.

@@ -217,3 +217,42 @@ func TestSpeedupOfFailedPointIsZero(t *testing.T) {
 		t.Errorf("failed point speedup = %v", s)
 	}
 }
+
+// TestExactBackend pins the backend contract: the exact backend never
+// reports a worse suite cell than the heuristic one, the heuristic
+// fingerprint is unchanged by the new field (cache keys stay valid), and
+// the exact fingerprint differs (its cells never collide with heuristic
+// ones).
+func TestExactBackend(t *testing.T) {
+	p := loopgen.Defaults()
+	p.Loops = 25
+	suite, err := loopgen.Workbench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur := New(suite, nil)
+	ex := New(suite, &Options{Backend: BackendExact, ExactNodeBudget: 20_000})
+	if heur.Fingerprint() == ex.Fingerprint() {
+		t.Fatal("exact backend shares the heuristic fingerprint")
+	}
+	c := cfg("2w1")
+	for _, regs := range []int{32, 256} {
+		h := heur.SuiteCycles(c, regs, machine.FourCycle)
+		x := ex.SuiteCycles(c, regs, machine.FourCycle)
+		if h.ExactRefined != 0 {
+			t.Errorf("regs=%d: heuristic backend refined %d loops", regs, h.ExactRefined)
+		}
+		if x.Cycles > h.Cycles {
+			t.Errorf("regs=%d: exact backend worse than heuristic (%.1f > %.1f)", regs, x.Cycles, h.Cycles)
+		}
+		if x.OK != h.OK && !x.OK {
+			t.Errorf("regs=%d: exact backend turned an OK cell unschedulable", regs)
+		}
+	}
+	// SetBackend after construction mirrors the Options path.
+	late := New(suite, nil)
+	late.SetBackend(BackendExact, 20_000, 0)
+	if late.Fingerprint() != ex.Fingerprint() {
+		t.Error("SetBackend fingerprint differs from Options-constructed exact engine")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ddg"
 	"repro/internal/machine"
@@ -203,6 +204,12 @@ type Workspace struct {
 // NewWorkspace returns an empty scheduling workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// wsPool serves ModuloSchedule calls that bring no workspace of their
+// own, so one-shot callers (the spill probes, the exact solver's
+// baseline, tests) get the warm-arena allocation profile for free. Safe
+// to recycle because the returned Schedule never aliases the workspace.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
 // ErrNoSchedule is returned when no II up to the cap admits a schedule.
 var ErrNoSchedule = errors.New("sched: no feasible schedule within II budget")
 
@@ -225,6 +232,11 @@ func ModuloSchedule(l *ddg.Loop, m machine.Machine, opts *Options) (*Schedule, e
 	var o Options
 	if opts != nil {
 		o = *opts
+	}
+	if o.Workspace == nil {
+		ws := wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+		o.Workspace = ws
 	}
 	buses, fpus := m.Slots()
 	model := m.Model

@@ -20,6 +20,7 @@ package spill
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/ddg"
 	"repro/internal/lifetimes"
@@ -87,6 +88,20 @@ func (r Result) II() int {
 	return r.Sched.II
 }
 
+// scratch is the allocator probe state of one Schedule call: a lifetime
+// set and a search permanently bound to it. Pooling the pair removes the
+// last per-call allocations of a warm engine's spill probes.
+type scratch struct {
+	ls     lifetimes.Set
+	search *regalloc.Search
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	s := &scratch{}
+	s.search = regalloc.NewSearch(&s.ls)
+	return s
+}}
+
 // Schedule software-pipelines the loop under the machine's register file
 // size. The loop must already be width-transformed for the machine.
 func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
@@ -105,9 +120,12 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 	// One lifetime set and one allocator search are reused across every
 	// spill round and every candidate II of the growth fallbacks: the
 	// TryAllocate→MinRegs→growII sequence rebinds them instead of
-	// recomputing orders and reallocating scratch per probe.
-	var ls lifetimes.Set
-	search := regalloc.NewSearch(&ls)
+	// recomputing orders and reallocating scratch per probe. The pair is
+	// pooled across Schedule calls — nothing below retains either past
+	// the return (results carry only schedules and counts).
+	scr := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(scr)
+	ls, search := &scr.ls, scr.search
 
 	// Spill rounds interleaved with II escalation: spilling trims long
 	// lifetimes at the price of memory traffic; raising the II floor
@@ -123,8 +141,8 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 			break // a compiler does not slow a loop down without bound
 		}
 		res.Rounds = round
-		lifetimes.ComputeInto(&ls, s)
-		search.Reset(&ls)
+		lifetimes.ComputeInto(ls, s)
+		search.Reset(ls)
 		// Fast path: check fit at the architected size before paying for
 		// the exact minimum (the scan from MaxLive is short when it fits).
 		if search.Fits(avail, o.Strategy) {
@@ -148,7 +166,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 			bestGap = gap
 		}
 
-		cands := candidates(cur, &ls, s.Model)
+		cands := candidates(cur, ls, s.Model)
 		if len(cands) > 0 {
 			k := gap/2 + 1
 			if k > len(cands) {
@@ -179,7 +197,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 	if alt := s.II * 2; alt > maxII {
 		maxII = alt
 	}
-	if r, ok := growII(cur, m, &o, avail, s.II+1, maxII, &ls, search); ok {
+	if r, ok := growII(cur, m, &o, avail, s.II+1, maxII, ls, search); ok {
 		res.OK = true
 		res.Sched = r.sched
 		res.Loop = cur
@@ -192,7 +210,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 	// up at any II; the pristine loop's pressure always falls with the II
 	// (only recurrence values resist), so this path rescues loops the
 	// spilling dug into a hole.
-	if r, ok := growII(l, m, &o, avail, res.BaseII+1, capII, &ls, search); ok {
+	if r, ok := growII(l, m, &o, avail, res.BaseII+1, capII, ls, search); ok {
 		res.OK = true
 		res.Sched = r.sched
 		res.Loop = l.Clone()
@@ -228,7 +246,7 @@ func Schedule(l *ddg.Loop, m machine.Machine, opts *Options) (Result, error) {
 		}
 	}
 	if stores3 > 0 {
-		if r, ok := growII(cur3, m, &o, avail, res.BaseII+1, 2*capII, &ls, search); ok {
+		if r, ok := growII(cur3, m, &o, avail, res.BaseII+1, 2*capII, ls, search); ok {
 			res.OK = true
 			res.Sched = r.sched
 			res.Loop = cur3
