@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// runFleet is the membership admin verb against a running router:
+//
+//	widening fleet status -router http://127.0.0.1:8000
+//	widening fleet join   -router http://127.0.0.1:8000 -addr 127.0.0.1:8084
+//	widening fleet leave  -router http://127.0.0.1:8000 -addr 127.0.0.1:8084
+//
+// join and leave change membership without restarting the router; status
+// prints members, health, and the per-workload replica map.
+func runFleet(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("fleet: want a subcommand: status, join or leave")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("fleet "+sub, flag.ContinueOnError)
+	router := fs.String("router", "http://127.0.0.1:8000", "fleet router base URL")
+	addr := fs.String("addr", "", "backend address (host:port or http:// URL); required for join and leave")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fleet %s: unexpected arguments %v", sub, fs.Args())
+	}
+	switch sub {
+	case "status":
+		return fleetStatusPrint(*router)
+	case "join", "leave":
+		if *addr == "" {
+			return fmt.Errorf("fleet %s: -addr is required", sub)
+		}
+		if err := fleetMemberPost(*router, sub, *addr); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s ok\n", sub, *addr)
+		return fleetStatusPrint(*router)
+	default:
+		return fmt.Errorf("fleet: unknown subcommand %q (want status, join or leave)", sub)
+	}
+}
+
+// fleetMemberPost posts {"addr": ...} to the router's join or leave
+// endpoint, surfacing the router's structured error body on refusal.
+func fleetMemberPost(router, verb, addr string) error {
+	body, _ := json.Marshal(fleet.MemberRequest{Addr: addr})
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Post(strings.TrimRight(router, "/")+"/v1/fleet/"+verb,
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router answered HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
+}
+
+// fleetStatusPrint renders GET /v1/fleet as an operator-facing table.
+func fleetStatusPrint(router string) error {
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(strings.TrimRight(router, "/") + "/v1/fleet")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router answered HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var fm fleet.FleetMembership
+	if err := json.Unmarshal(data, &fm); err != nil {
+		return fmt.Errorf("decode /v1/fleet: %v", err)
+	}
+	fmt.Printf("fleet %s: %d/%d backends healthy, replication %d\n",
+		fm.Status, fm.BackendsHealthy, fm.BackendsTotal, fm.Replication)
+	for _, b := range fm.Backends {
+		state := "healthy"
+		if !b.Healthy {
+			state = "unhealthy"
+			if b.LastError != "" {
+				state += " (" + b.LastError + ")"
+			}
+		}
+		fmt.Printf("  %-28s %s\n", b.Addr, state)
+	}
+	if len(fm.Replicas) > 0 {
+		names := make([]string, 0, len(fm.Replicas))
+		for name := range fm.Replicas {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("replicas:")
+		for _, name := range names {
+			fmt.Printf("  %-12s %s\n", name, strings.Join(fm.Replicas[name], " -> "))
+		}
+	}
+	return nil
+}

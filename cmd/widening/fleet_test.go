@@ -1,0 +1,77 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/serve"
+)
+
+func TestRunFleetErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no subcommand", nil, "want a subcommand"},
+		{"unknown subcommand", []string{"evict"}, "unknown subcommand"},
+		{"join without addr", []string{"join", "-router", "http://127.0.0.1:1"}, "-addr is required"},
+		{"leave without addr", []string{"leave", "-router", "http://127.0.0.1:1"}, "-addr is required"},
+		{"positional args", []string{"status", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		err := runFleet(tc.args)
+		if err == nil {
+			t.Errorf("%s: runFleet succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRunFleetAgainstRouter drives the admin verb end to end: status,
+// join a new backend, leave it again.
+func TestRunFleetAgainstRouter(t *testing.T) {
+	newBackend := func() string {
+		srv, err := serve.New(serve.Options{Loops: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return ts.URL
+	}
+	rt, err := fleet.New(fleet.Options{
+		Backends:      []string{newBackend()},
+		ProbeInterval: 50 * time.Millisecond,
+		RejoinAfter:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	if err := runFleet([]string{"status", "-router", front.URL}); err != nil {
+		t.Fatalf("fleet status: %v", err)
+	}
+	extra := newBackend()
+	if err := runFleet([]string{"join", "-router", front.URL, "-addr", extra}); err != nil {
+		t.Fatalf("fleet join: %v", err)
+	}
+	if err := runFleet([]string{"join", "-router", front.URL, "-addr", extra}); err == nil {
+		t.Fatal("duplicate join succeeded, want the router's 409 surfaced")
+	}
+	if err := runFleet([]string{"leave", "-router", front.URL, "-addr", extra}); err != nil {
+		t.Fatalf("fleet leave: %v", err)
+	}
+	if err := runFleet([]string{"leave", "-router", front.URL, "-addr", extra}); err == nil {
+		t.Fatal("leave of a non-member succeeded, want the router's 409 surfaced")
+	}
+}

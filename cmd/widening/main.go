@@ -11,6 +11,7 @@
 //	widening bench -json
 //	widening serve -addr 127.0.0.1:8080 -budget 500000 -preload default,kernels -cache /var/cache/widening
 //	widening route -addr 127.0.0.1:8000 -backends 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+//	widening fleet status -router http://127.0.0.1:8000
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
@@ -30,9 +31,11 @@
 // README's Result cache section; `widening cache` inspects it).
 // `widening serve` runs the long-lived HTTP/JSON design-space server
 // over warm per-workload engines (see internal/serve and the README's
-// Serving section), and `widening route` shards a fleet of such servers
-// behind a fault-tolerant consistent-hash router (see internal/fleet and
-// the README's Fleet section).
+// Serving section), `widening route` shards a fleet of such servers
+// behind a fault-tolerant consistent-hash router with replicated
+// ownership, per-tenant admission and end-to-end deadlines (see
+// internal/fleet and the README's Fleet section), and `widening fleet`
+// administers a running router's membership without a restart.
 package main
 
 import (
@@ -70,6 +73,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "route" {
 		return runRoute(args[1:])
+	}
+	if len(args) > 0 && args[0] == "fleet" {
+		return runFleet(args[1:])
 	}
 	if len(args) > 0 && args[0] == "cache" {
 		return runCache(args[1:])
@@ -233,6 +239,7 @@ func usage() {
   widening cache gc -dir DIR [-max-bytes N] [-max-entries N]
   widening schedule -config 4w2 -regs 64 -kernel daxpy|list
   widening bench [-json] [-benchtime 1x] [-workload NAME] [-run Scheduler,RegisterPressure,Table5Implementable]
-  widening serve [-addr HOST:PORT] [-budget UNITS] [-preload default,kernels] [-loops N] [-seed S] [-cache DIR] [-shutdown-timeout D]
-  widening route -addr HOST:PORT -backends host:port,... [-probe-interval D] [-fail-after N] [-retries N] [-hedge-after D]`)
+  widening serve [-addr HOST:PORT] [-budget UNITS] [-preload default,kernels] [-loops N] [-seed S] [-cache DIR] [-join URL] [-shutdown-timeout D]
+  widening route -addr HOST:PORT -backends host:port,... [-replication R] [-quota-qps N] [-quota-sweeps N] [-breaker-threshold N] [-retry-budget F] [-hedge-after D]
+  widening fleet status|join|leave -router URL [-addr HOST:PORT]`)
 }

@@ -18,14 +18,20 @@ import (
 // per-workload engines behind an HTTP/JSON API (see internal/serve).
 //
 //	widening serve [-addr HOST:PORT] [-budget UNITS] [-preload a,b] [-loops N] [-seed S]
-//	               [-cache DIR] [-shutdown-timeout 10s]
+//	               [-cache DIR] [-join http://router:8000] [-shutdown-timeout 10s]
 //
 // The process runs until SIGINT/SIGTERM, then drains in-flight requests
 // for at most -shutdown-timeout — a stuck stream cannot hold the exit
 // hostage — and exits cleanly (CI's smoke relies on the clean exit).
+// With -join, the server announces itself to a running `widening route`
+// once it is listening (and retires itself again on graceful shutdown):
+// fleet capacity scales by starting more serve processes, no router
+// restart.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	joinRouter := fs.String("join", "",
+		"fleet router base URL to join once listening (POST /v1/fleet/join; best-effort leave on shutdown)")
 	budget := fs.Int64("budget", 0,
 		"warm-engine memory budget in op units (0 = unlimited); idle LRU engines are evicted under pressure")
 	preload := fs.String("preload", "", "comma-separated workloads whose engines are built at startup")
@@ -66,6 +72,23 @@ func runServe(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "widening serve: listening on http://%s (%d preload target(s), budget %d)\n",
 		l.Addr(), len(pre), *budget)
+	if *joinRouter != "" {
+		// Announce after the listener is up so the router's first probe
+		// can succeed. Failures are fatal: an operator who asked to join a
+		// fleet wants to know the fleet never heard about this member.
+		if err := fleetMemberPost(*joinRouter, "join", l.Addr().String()); err != nil {
+			l.Close()
+			return fmt.Errorf("serve: -join %s: %w", *joinRouter, err)
+		}
+		fmt.Fprintf(os.Stderr, "widening serve: joined fleet at %s\n", *joinRouter)
+		defer func() {
+			// Best-effort retirement on the way out; the router's health
+			// probes drain us anyway if this never arrives.
+			if err := fleetMemberPost(*joinRouter, "leave", l.Addr().String()); err != nil {
+				fmt.Fprintf(os.Stderr, "widening serve: leave %s: %v\n", *joinRouter, err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

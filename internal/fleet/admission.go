@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// QuotaConfig is the router's per-tenant admission control. Tenants are
+// the distinct X-Tenant header values (the empty header is the shared
+// anonymous tenant). The zero value admits everything — the router then
+// only tracks per-tenant traffic for /v1/stats attribution.
+type QuotaConfig struct {
+	// QPS is each tenant's sustained request rate across the data-path
+	// endpoints (eval, sweep, experiments, import); 0 = unlimited.
+	QPS float64
+	// Burst is the token-bucket depth — how far a tenant may briefly
+	// exceed QPS (default: 2×QPS rounded up, minimum 1).
+	Burst int
+	// ConcurrentSweeps caps a tenant's simultaneously running sweeps, the
+	// requests that pin an engine for seconds at a time; 0 = unlimited.
+	ConcurrentSweeps int
+}
+
+func (q QuotaConfig) withDefaults() QuotaConfig {
+	if q.QPS > 0 && q.Burst <= 0 {
+		q.Burst = max(int(math.Ceil(2*q.QPS)), 1)
+	}
+	return q
+}
+
+// admission is the router's tenant ledger: one token bucket and sweep
+// slot count per tenant, plus the admitted/rejected counters /v1/stats
+// reports. All methods are safe for concurrent use.
+type admission struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// tenantState is one tenant's bucket; guarded by the admission mutex.
+type tenantState struct {
+	tokens float64
+	last   time.Time
+	sweeps int
+
+	admitted int64
+	rejected int64
+}
+
+func newAdmission(cfg QuotaConfig) *admission {
+	return &admission{cfg: cfg.withDefaults(), tenants: map[string]*tenantState{}}
+}
+
+func (a *admission) state(tenant string) *tenantState {
+	t := a.tenants[tenant]
+	if t == nil {
+		t = &tenantState{tokens: float64(a.cfg.Burst), last: time.Now()}
+		a.tenants[tenant] = t
+	}
+	return t
+}
+
+// admit charges one request against the tenant's rate quota. A false
+// return means the bucket is empty; retryAfter is how long until one
+// token refills.
+func (a *admission) admit(tenant string) (retryAfter time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.state(tenant)
+	if a.cfg.QPS <= 0 {
+		t.admitted++
+		return 0, true
+	}
+	now := time.Now()
+	t.tokens = math.Min(t.tokens+now.Sub(t.last).Seconds()*a.cfg.QPS, float64(a.cfg.Burst))
+	t.last = now
+	if t.tokens < 1 {
+		t.rejected++
+		return time.Duration((1 - t.tokens) / a.cfg.QPS * float64(time.Second)), false
+	}
+	t.tokens--
+	t.admitted++
+	return 0, true
+}
+
+// beginSweep claims a concurrent-sweep slot; endSweep releases it. A
+// false return means the tenant is at its cap.
+func (a *admission) beginSweep(tenant string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.state(tenant)
+	if a.cfg.ConcurrentSweeps > 0 && t.sweeps >= a.cfg.ConcurrentSweeps {
+		t.rejected++
+		return false
+	}
+	t.sweeps++
+	return true
+}
+
+func (a *admission) endSweep(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t := a.tenants[tenant]; t != nil && t.sweeps > 0 {
+		t.sweeps--
+	}
+}
+
+// snapshot returns the per-tenant rows for /v1/stats, keyed by tenant
+// name (the anonymous tenant reports as ""), plus a stable name order.
+func (a *admission) snapshot() (map[string]TenantStats, []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]TenantStats, len(a.tenants))
+	names := make([]string, 0, len(a.tenants))
+	for name, t := range a.tenants {
+		out[name] = TenantStats{
+			Requests:     t.admitted,
+			Rejected:     t.rejected,
+			ActiveSweeps: t.sweeps,
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return out, names
+}

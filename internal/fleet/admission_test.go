@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a := newAdmission(QuotaConfig{QPS: 2, Burst: 2})
+	for i := 0; i < 2; i++ {
+		if _, ok := a.admit("alice"); !ok {
+			t.Fatalf("admit #%d refused inside the burst", i)
+		}
+	}
+	retryAfter, ok := a.admit("alice")
+	if ok {
+		t.Fatal("admit above the burst succeeded")
+	}
+	if retryAfter <= 0 || retryAfter > time.Second {
+		t.Fatalf("retryAfter = %v, want within one token's refill at 2 QPS", retryAfter)
+	}
+	// Independent buckets per tenant.
+	if _, ok := a.admit("bob"); !ok {
+		t.Fatal("bob refused by alice's empty bucket")
+	}
+	// Refill: move alice's clock a token's worth into the past.
+	a.mu.Lock()
+	a.tenants["alice"].last = time.Now().Add(-time.Second)
+	a.mu.Unlock()
+	if _, ok := a.admit("alice"); !ok {
+		t.Fatal("admit refused after a full token refilled")
+	}
+
+	stats, names := a.snapshot()
+	if len(names) != 2 || names[0] != "alice" || names[1] != "bob" {
+		t.Fatalf("snapshot names = %v, want [alice bob]", names)
+	}
+	if s := stats["alice"]; s.Requests != 3 || s.Rejected != 1 {
+		t.Fatalf("alice stats = %+v, want 3 admitted / 1 rejected", s)
+	}
+}
+
+func TestAdmissionUnlimitedStillCounts(t *testing.T) {
+	a := newAdmission(QuotaConfig{})
+	for i := 0; i < 5; i++ {
+		if _, ok := a.admit("x"); !ok {
+			t.Fatalf("zero-value quota refused request %d", i)
+		}
+	}
+	stats, _ := a.snapshot()
+	if stats["x"].Requests != 5 {
+		t.Fatalf("requests = %d, want 5 (attribution works without quotas)", stats["x"].Requests)
+	}
+}
+
+func TestAdmissionBurstDefault(t *testing.T) {
+	cfg := QuotaConfig{QPS: 0.4}.withDefaults()
+	if cfg.Burst != 1 {
+		t.Fatalf("Burst default for QPS 0.4 = %d, want ceil(0.8) = 1", cfg.Burst)
+	}
+	cfg = QuotaConfig{QPS: 3}.withDefaults()
+	if cfg.Burst != 6 {
+		t.Fatalf("Burst default for QPS 3 = %d, want 6", cfg.Burst)
+	}
+}
+
+func TestAdmissionSweepSlots(t *testing.T) {
+	a := newAdmission(QuotaConfig{ConcurrentSweeps: 1})
+	if !a.beginSweep("alice") {
+		t.Fatal("first sweep slot refused")
+	}
+	if a.beginSweep("alice") {
+		t.Fatal("second concurrent sweep admitted past the cap")
+	}
+	if !a.beginSweep("bob") {
+		t.Fatal("bob blocked by alice's sweep slot")
+	}
+	a.endSweep("alice")
+	if !a.beginSweep("alice") {
+		t.Fatal("sweep slot not released by endSweep")
+	}
+	stats, _ := a.snapshot()
+	if stats["alice"].Rejected != 1 || stats["alice"].ActiveSweeps != 1 {
+		t.Fatalf("alice stats = %+v, want 1 rejection and 1 active sweep", stats["alice"])
+	}
+}

@@ -11,19 +11,43 @@
 //	POST /v1/sweep                  routed + retried (streams resume on survivors)
 //	GET  /v1/experiments/{id}       routed + retried
 //	GET  /v1/stats                  fleet counters + per-backend stats
+//	GET  /v1/fleet                  membership + replica map
+//	POST /v1/fleet/join             add a backend without restarting
+//	POST /v1/fleet/leave            retire a backend without restarting
 //
 // Robustness model, in order of the request path:
 //
-//   - Membership is health-checked: /healthz probes at a configurable
-//     interval mark a backend unhealthy after FailAfter consecutive
-//     failures (its keys rehash to the next replicas on the ring) and
-//     healthy again after RejoinAfter consecutive successes (the router
-//     prewarms the engines for the keys that rehash back, via the
-//     backend's /v1/prewarm).
+//   - Ownership is replicated: each workload hashes to an ordered
+//     replica set of Replication distinct backends (default 2), all kept
+//     warm by a background prewarm fan-out that re-runs on every
+//     membership change. The primary serves; when it dies the request
+//     fails over to the already-warm standby — no rehash beyond the
+//     replica set, no cold engine build on the read path.
+//   - Membership is dynamic and health-checked: /v1/fleet/join adds a
+//     backend (unhealthy until probed, prewarmed before it takes keys),
+//     /v1/fleet/leave retires one, and /healthz probes mark members
+//     unhealthy after FailAfter consecutive failures and healthy again
+//     after RejoinAfter successes. The hash ring rebuilds only on
+//     join/leave — never on health flaps — so a rejoin restores the
+//     exact pre-failure replica map.
+//   - Requests are admitted per tenant (the X-Tenant header): a token
+//     bucket caps each tenant's QPS and concurrent sweeps, refusing
+//     excess with a structured 429 + Retry-After so one greedy client
+//     cannot evict every other tenant's engines.
+//   - Deadlines propagate end to end: a client's X-Deadline becomes
+//     shrinking per-attempt budgets across retries and hedges, is
+//     forwarded to the backend (which aborts evaluation between sweep
+//     cells), and expires as a structured 504.
 //   - Every proxied request retries transport-level failures with capped
-//     exponential backoff and jitter, walking the key's replica order.
-//     Only idempotent failures retry (see Retryable); a backend's
+//     exponential backoff and jitter, walking the key's replica order —
+//     but retries and hedges spend a shared token-bucket retry budget
+//     (~10% of traffic), so they can never storm a degraded fleet. Only
+//     idempotent failures retry (see Retryable); a backend's
 //     deterministic answer is forwarded, never re-asked.
+//   - Each backend has a circuit breaker over data-path failures:
+//     Threshold consecutive failures open it (even while /healthz still
+//     answers), a cooldown later one half-open trial request decides
+//     whether it closes.
 //   - Evaluations that straggle past the hedge threshold (fixed, or
 //     adaptive from the observed p95) race a second replica; first
 //     response wins. Safe because evaluation is a pure function and the
@@ -33,8 +57,9 @@
 //     next replica, skips the deterministic prefix it already delivered,
 //     and continues — the client sees one complete, byte-identical
 //     stream ending in the PR 6 trailer.
-//   - When every replica for a key is down, the router answers 503 with
-//     a structured Retry-After body immediately instead of hanging.
+//   - When every replica for a key is down (or breaker-open), the router
+//     answers 503 with a structured Retry-After body immediately instead
+//     of hanging.
 package fleet
 
 import "repro/internal/serve"
@@ -69,6 +94,15 @@ type BackendStats struct {
 	Healthy             bool   `json:"healthy"`
 	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
 	LastError           string `json:"last_error,omitempty"`
+	// Health is the scrape outcome for this row: "ok" (Stats attached),
+	// "unhealthy" (member out of rotation, not scraped), "timeout" (the
+	// backend held the stats scrape past its per-backend deadline — a
+	// hung backend must not stall the aggregate), or "unreachable"
+	// (scrape failed outright).
+	Health string `json:"health"`
+	// Breaker is the backend's circuit state: "closed", "open" or
+	// "half-open".
+	Breaker string `json:"breaker"`
 	// Requests counts proxied attempts the router sent here; Failures
 	// counts the ones that failed at transport level.
 	Requests int64 `json:"requests"`
@@ -78,27 +112,70 @@ type BackendStats struct {
 	Stats *serve.StatsResponse `json:"stats,omitempty"`
 }
 
+// TenantStats is one tenant's row in the aggregated /v1/stats (the
+// anonymous tenant — requests with no X-Tenant header — reports under
+// the empty name).
+type TenantStats struct {
+	// Requests counts admitted data-path requests; Rejected counts the
+	// 429s (rate and concurrent-sweep quotas combined).
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected,omitempty"`
+	// ActiveSweeps is the tenant's currently running sweep count.
+	ActiveSweeps int `json:"active_sweeps,omitempty"`
+	// EngineUnits attributes the fleet's warm-engine memory (mem_units,
+	// summed across backends) to the tenant, proportional to its share
+	// of each engine's recorded per-tenant requests — who is actually
+	// spending the fleet's engine budget.
+	EngineUnits int64 `json:"engine_units"`
+}
+
 // FleetInfo is the router-level block of the aggregated /v1/stats.
 type FleetInfo struct {
 	Status          string  `json:"status"`
 	UptimeSeconds   float64 `json:"uptime_seconds"`
 	BackendsTotal   int     `json:"backends_total"`
 	BackendsHealthy int     `json:"backends_healthy"`
-	// Rehashes counts requests served by a non-primary replica (the
-	// primary was unhealthy or failed); Retries counts extra attempts
-	// after a failure; Hedges counts straggler races fired and HedgeWins
-	// how often the hedge answered first; Unavailable counts requests
-	// refused 503 because no replica was healthy.
+	// Replication is the configured ownership factor R.
+	Replication int `json:"replication"`
+	// Failovers counts requests served by a warm non-primary member of
+	// their replica set (the replicated-ownership read path); Rehashes
+	// counts requests served outside the replica set entirely (the PR 7
+	// cold path — with R>=2 this stays zero unless R-1 replicas die
+	// together). Retries counts extra attempts after a failure; Hedges
+	// counts straggler races fired and HedgeWins how often the hedge
+	// answered first; Unavailable counts requests refused 503 because no
+	// replica was healthy.
+	Failovers   int64 `json:"failovers"`
 	Rehashes    int64 `json:"rehashes"`
 	Retries     int64 `json:"retries"`
 	Hedges      int64 `json:"hedges"`
 	HedgeWins   int64 `json:"hedge_wins"`
 	Unavailable int64 `json:"unavailable"`
+	// Prewarms counts prewarm fan-out RPCs; PrewarmsBuilt the engines
+	// those RPCs actually constructed; PrewarmsCold the subset built on a
+	// workload's current serving candidate by a repair fan-out — i.e.
+	// windows where traffic could have found its engine cold. A clean
+	// R>=2 failover keeps PrewarmsCold at zero: the standby was already
+	// warm and only deeper replicas built.
+	Prewarms      int64 `json:"prewarms"`
+	PrewarmsBuilt int64 `json:"prewarms_built"`
+	PrewarmsCold  int64 `json:"prewarms_cold"`
+	// RetryBudgetExhausted counts retries/hedges suppressed by the retry
+	// budget; QuotaRejected counts tenant 429s; DeadlineExceeded counts
+	// requests answered with the structured 504.
+	RetryBudgetExhausted int64 `json:"retry_budget_exhausted"`
+	QuotaRejected        int64 `json:"quota_rejected"`
+	DeadlineExceeded     int64 `json:"deadline_exceeded"`
 	// HedgeAfterMS is the current hedge threshold (fixed or adaptive).
 	HedgeAfterMS float64 `json:"hedge_after_ms"`
 	// Routing maps each registered workload to the backend currently
-	// answering for it — after a failure this is where the rehash shows.
-	Routing map[string]string `json:"routing"`
+	// answering for it — after a failure this is where the failover
+	// shows. Replicas maps each to its full current replica set
+	// (Routing is Replicas[w][0]).
+	Routing  map[string]string   `json:"routing"`
+	Replicas map[string][]string `json:"replicas"`
+	// Tenants is the per-tenant admission + engine-budget attribution.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // StatsResponse is the router's aggregated GET /v1/stats body.
@@ -108,11 +185,44 @@ type StatsResponse struct {
 }
 
 // Unavailable is the structured 503 body: every replica for the key is
-// down, and RetryAfterSeconds (also sent as the Retry-After header) is
-// the probe horizon after which membership may have recovered.
+// down (or breaker-open), and RetryAfterSeconds (also sent as the
+// Retry-After header) is the horizon after which membership or the
+// breaker may have recovered.
 type Unavailable struct {
 	Error             string `json:"error"`
 	RetryAfterSeconds int    `json:"retry_after_seconds"`
 	BackendsTotal     int    `json:"backends_total"`
 	BackendsHealthy   int    `json:"backends_healthy"`
+}
+
+// QuotaExceeded is the structured 429 body: the tenant is over its rate
+// or concurrent-sweep quota. RetryAfterSeconds is also sent as the
+// Retry-After header.
+type QuotaExceeded struct {
+	Error             string `json:"error"`
+	Tenant            string `json:"tenant"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// DeadlineExceeded is the structured 504 body: the request's X-Deadline
+// expired before any backend completed it.
+type DeadlineExceeded struct {
+	Error          string `json:"error"`
+	DeadlineUnixMS int64  `json:"deadline_unix_ms"`
+}
+
+// MemberRequest is the POST /v1/fleet/join and /v1/fleet/leave body.
+type MemberRequest struct {
+	Addr string `json:"addr"`
+}
+
+// FleetMembership is the GET /v1/fleet body (also returned by join and
+// leave): live membership plus the registered workloads' replica map.
+type FleetMembership struct {
+	Status          string              `json:"status"`
+	Replication     int                 `json:"replication"`
+	BackendsTotal   int                 `json:"backends_total"`
+	BackendsHealthy int                 `json:"backends_healthy"`
+	Backends        []BackendHealth     `json:"backends"`
+	Replicas        map[string][]string `json:"replicas"`
 }

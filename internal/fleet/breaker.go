@@ -1,0 +1,108 @@
+package fleet
+
+import "time"
+
+// BreakerConfig tunes the per-backend circuit breaker. The breaker
+// watches data-path outcomes only (proxied requests, not health probes):
+// Threshold consecutive failures open it, and while open the backend
+// receives no traffic even if /healthz still answers — the failure mode
+// health probes cannot see. After Cooldown it goes half-open: exactly
+// one trial request is admitted, and its outcome closes or re-opens the
+// breaker. Probe successes never close a breaker; only a data-path
+// success does.
+type BreakerConfig struct {
+	// Threshold is the consecutive data-path failures that open the
+	// breaker (default 3; negative disables the breaker entirely). It
+	// deliberately sits above the router's FailAfter so ordinary dead
+	// backends drain via health first — the breaker catches the
+	// backend that looks alive but cannot answer.
+	Threshold int
+	// Cooldown is the open → half-open delay (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker state names, as /v1/stats reports them.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// breakerState is one backend's breaker, guarded by the router mutex
+// (it lives inside backendState).
+type breakerState struct {
+	fails     int // consecutive data-path failures
+	openUntil time.Time
+	probing   bool // half-open trial in flight
+	opens     int64
+}
+
+// allow reports whether a request may be sent. In the half-open window
+// the first caller takes the single probe slot; a true return is a
+// commitment to send the request and report its outcome.
+func (b *breakerState) allow(now time.Time) bool {
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// onFailure records a data-path failure, returning true when this
+// failure opened (or re-opened) the breaker.
+func (b *breakerState) onFailure(cfg BreakerConfig, now time.Time) bool {
+	if cfg.Threshold < 0 {
+		return false
+	}
+	b.fails++
+	if b.probing || b.fails >= cfg.Threshold {
+		wasOpen := !b.openUntil.IsZero()
+		b.openUntil = now.Add(cfg.Cooldown)
+		b.probing = false
+		if !wasOpen {
+			b.opens++
+			return true
+		}
+	}
+	return false
+}
+
+// onSuccess records a data-path success, returning true when it closed
+// a previously open breaker.
+func (b *breakerState) onSuccess() bool {
+	b.fails = 0
+	b.probing = false
+	if !b.openUntil.IsZero() {
+		b.openUntil = time.Time{}
+		return true
+	}
+	return false
+}
+
+// state names the breaker's current phase for stats.
+func (b *breakerState) state(now time.Time) string {
+	switch {
+	case b.openUntil.IsZero():
+		return BreakerClosed
+	case now.Before(b.openUntil) || b.probing:
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
+}

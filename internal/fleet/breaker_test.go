@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 2, Cooldown: time.Minute}
+	var b breakerState
+	now := time.Now()
+
+	if !b.allow(now) {
+		t.Fatal("fresh breaker refused a request")
+	}
+	if b.state(now) != BreakerClosed {
+		t.Fatalf("fresh state = %q", b.state(now))
+	}
+	// One failure: still closed (threshold 2).
+	if opened := b.onFailure(cfg, now); opened {
+		t.Fatal("breaker opened below the threshold")
+	}
+	if !b.allow(now) {
+		t.Fatal("closed breaker refused a request")
+	}
+	// Second failure opens it.
+	if opened := b.onFailure(cfg, now); !opened {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if b.state(now) != BreakerOpen {
+		t.Fatalf("state after threshold = %q, want open", b.state(now))
+	}
+	if b.allow(now) {
+		t.Fatal("open breaker admitted a request")
+	}
+
+	// After the cooldown: half-open, exactly one probe slot.
+	later := now.Add(cfg.Cooldown + time.Second)
+	if b.state(later) != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %q, want half-open", b.state(later))
+	}
+	if !b.allow(later) {
+		t.Fatal("half-open breaker refused the trial request")
+	}
+	if b.allow(later) {
+		t.Fatal("half-open breaker handed out a second probe slot")
+	}
+
+	// A failed trial re-opens (no fresh "opened" event — it never closed).
+	if opened := b.onFailure(cfg, later); opened {
+		t.Fatal("failed trial reported a fresh open")
+	}
+	if b.allow(later.Add(time.Second)) {
+		t.Fatal("re-opened breaker admitted a request inside the new cooldown")
+	}
+
+	// A successful trial closes it fully.
+	evenLater := later.Add(cfg.Cooldown + time.Second)
+	if !b.allow(evenLater) {
+		t.Fatal("half-open breaker refused the second trial")
+	}
+	if closed := b.onSuccess(); !closed {
+		t.Fatal("successful trial did not report closing")
+	}
+	if b.state(evenLater) != BreakerClosed || !b.allow(evenLater) {
+		t.Fatal("breaker not fully closed after a successful trial")
+	}
+	// And the failure streak restarted from zero.
+	if opened := b.onFailure(cfg, evenLater); opened {
+		t.Fatal("single failure after recovery re-opened the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	cfg := BreakerConfig{Threshold: -1, Cooldown: time.Minute}
+	var b breakerState
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		if opened := b.onFailure(cfg, now); opened {
+			t.Fatal("disabled breaker opened")
+		}
+	}
+	if !b.allow(now) {
+		t.Fatal("disabled breaker refused a request")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.Threshold != 3 || cfg.Cooldown != 5*time.Second {
+		t.Fatalf("defaults = %+v, want threshold 3 / cooldown 5s", cfg)
+	}
+	neg := BreakerConfig{Threshold: -1}.withDefaults()
+	if neg.Threshold != -1 {
+		t.Fatalf("negative threshold not preserved: %+v", neg)
+	}
+}

@@ -41,6 +41,12 @@ const (
 	// FlipByte forwards everything but XORs one bit of the response byte
 	// at the configured offset — corruption in flight.
 	FlipByte
+	// Stall accepts the connection and keeps reading the request, but
+	// never sends a single response byte — a backend that is alive at the
+	// TCP level yet hangs forever, the failure deadlines exist for. The
+	// connection stays pinned until the client gives up or CloseActive
+	// severs it.
+	Stall
 )
 
 // Config parameterizes a mode.
@@ -137,6 +143,13 @@ func (p *Proxy) handle(client net.Conn, cfg Config) {
 	defer p.forget(client)
 	defer client.Close()
 	if cfg.Mode == Refuse {
+		return
+	}
+	if cfg.Mode == Stall {
+		// Drain the request forever and answer nothing; the backend is
+		// never dialed. Returns when the client hangs up or CloseActive
+		// cuts the connection.
+		io.Copy(io.Discard, client)
 		return
 	}
 	backend, err := net.DialTimeout("tcp", p.target, 5*time.Second)

@@ -180,3 +180,41 @@ func TestSetSwitchesNewConnections(t *testing.T) {
 		}
 	}
 }
+
+func TestStallNeverAnswers(t *testing.T) {
+	payload := testPayload()
+	p, err := New(payloadServer(t, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Set(Config{Mode: Stall})
+
+	c, err := net.DialTimeout("tcp", p.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer c.Close()
+	// The connection accepts and reads the request...
+	if _, err := c.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatalf("write request: %v", err)
+	}
+	// ...but not one response byte arrives inside the deadline.
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 1)
+	if n, err := c.Read(buf); err == nil || n > 0 {
+		t.Fatalf("stall mode delivered %d byte(s) (err %v), want a read timeout", n, err)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("read error %v, want a timeout (connection must stay open, not closed)", err)
+	}
+
+	// CloseActive severs the pinned connection: the next read fails
+	// immediately with a non-timeout error.
+	p.CloseActive()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read after CloseActive succeeded, want the severed connection")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("read after CloseActive timed out (%v), want an immediate close", err)
+	}
+}

@@ -19,54 +19,88 @@ import (
 // Options configures a Router. Backends is required; everything else
 // defaults as documented.
 type Options struct {
-	// Backends lists the `widening serve` instances, as host:port or
-	// http:// base URLs. The set is fixed for the router's lifetime;
-	// health decides which members receive traffic.
+	// Backends lists the initial `widening serve` instances, as host:port
+	// or http:// base URLs. Membership is dynamic after startup: POST
+	// /v1/fleet/join and /v1/fleet/leave add and remove members without a
+	// router restart; health decides which members receive traffic.
 	Backends []string
 	// Replicas is the virtual-node count per backend on the hash ring
 	// (default 64): higher evens the key split at slightly larger ring.
 	Replicas int
+	// Replication is the ownership factor R (default 2): every workload's
+	// engines are kept warm on its first R healthy ring candidates by a
+	// background prewarm fan-out, so the primary's failure fails over to
+	// an already-warm replica with no cold rebuild. 1 restores the PR 7
+	// single-owner behavior — no warm standby, prewarm only on rejoin.
+	Replication int
 	// ProbeInterval is the health-check period (default 2s);
 	// ProbeTimeout bounds one /healthz probe (default 1s).
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
 	// FailAfter consecutive failures mark a backend unhealthy (default
 	// 2); RejoinAfter consecutive probe successes mark it healthy again
-	// (default 2) and trigger engine prewarm for the keys rehashing back.
+	// (default 2) and trigger a prewarm fan-out for the keys rehashing
+	// back.
 	FailAfter   int
 	RejoinAfter int
 	// Retry bounds per-request retries (see RetryPolicy).
 	Retry RetryPolicy
 	// AttemptTimeout bounds one buffered proxied attempt (default 2m —
 	// a cold full-workbench experiment is the slow case). Streaming
-	// sweeps are bounded by the client's context instead.
+	// sweeps are bounded by the client's context instead. An X-Deadline
+	// header tightens this further (see reqMeta).
 	AttemptTimeout time.Duration
 	// HedgeAfter is the eval straggler threshold: an evaluation not
 	// answered within it races a second replica. 0 means adaptive —
 	// twice the observed p95 once enough samples exist, 250ms before
 	// that. Negative disables hedging.
 	HedgeAfter time.Duration
+	// Quota is the per-tenant admission control (zero value = no limits;
+	// tenant identity comes from the X-Tenant header).
+	Quota QuotaConfig
+	// Breaker is the per-backend circuit breaker over data-path failures
+	// (see BreakerConfig; zero value = defaults, Threshold < 0 disables).
+	Breaker BreakerConfig
+	// RetryBudgetRatio funds the shared retry/hedge token bucket: every
+	// admitted request adds this many tokens and every retry or hedge
+	// spends one, so retries amplify a degraded fleet's traffic by at
+	// most ~this fraction (default 0.1). Negative disables the budget.
+	RetryBudgetRatio float64
 	// Logf receives membership transitions and retry/hedge events
 	// (nil = silent).
 	Logf func(format string, args ...any)
 }
 
 // Router is the fleet front door: an http.Handler that consistently
-// hashes workload keys onto healthy backends, with retries, hedging and
-// stream resumption. Build one with New, stop it with Shutdown or Close.
+// hashes workload keys onto healthy backends, with replicated ownership,
+// retries, hedging and stream resumption. Build one with New, stop it
+// with Shutdown or Close.
 type Router struct {
 	opts    Options
-	ring    *ring
 	mux     *http.ServeMux
 	hc      *http.Client
 	hs      *http.Server
 	started time.Time
 
 	mu       sync.Mutex
+	ring     *ring // rebuilt on join/leave only; health never rebuilds it
 	backends map[string]*backendState
 
-	rehashes, retries, hedges, hedgeWins, unavailable atomic.Int64
-	lat                                               latencyTracker
+	rehashes, failovers, retries, hedges, hedgeWins, unavailable atomic.Int64
+	prewarms, prewarmsBuilt, prewarmsCold                        atomic.Int64
+	retryExhausted, quotaRejected, deadlineExceeded              atomic.Int64
+	lat                                                          latencyTracker
+
+	admission *admission
+	budget    *retryBudget
+
+	// The prewarm fan-out is coalesced: one runs at a time, and membership
+	// changes landing mid-run mark it dirty so it re-runs once with the
+	// fresh topology instead of piling up a goroutine per flap.
+	fanoutMu     sync.Mutex
+	fanoutActive bool
+	fanoutDirty  bool
+	fanoutRepair bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -83,11 +117,27 @@ type backendState struct {
 	lastErr     string
 	requests    int64
 	failures    int64
+	brk         breakerState
+}
+
+// normalizeAddr canonicalizes a backend address the way New always has:
+// trimmed, scheme-defaulted, no trailing slash. Empty input is an error.
+func normalizeAddr(b string) (string, error) {
+	a := strings.TrimRight(strings.TrimSpace(b), "/")
+	if a == "" {
+		return "", fmt.Errorf("fleet: empty backend address")
+	}
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return a, nil
 }
 
 // New builds the router and starts the health-probe loop. Backends are
 // assumed healthy until the first probe says otherwise, so a router in
-// front of a live fleet serves immediately.
+// front of a live fleet serves immediately. With Replication > 1 a
+// startup prewarm fan-out warms every workload's replica set in the
+// background.
 func New(opts Options) (*Router, error) {
 	if len(opts.Backends) == 0 {
 		return nil, fmt.Errorf("fleet: no backends configured")
@@ -95,12 +145,12 @@ func New(opts Options) (*Router, error) {
 	var addrs []string
 	seen := map[string]bool{}
 	for _, b := range opts.Backends {
-		a := strings.TrimRight(strings.TrimSpace(b), "/")
-		if a == "" {
+		if strings.TrimSpace(b) == "" {
 			continue
 		}
-		if !strings.Contains(a, "://") {
-			a = "http://" + a
+		a, err := normalizeAddr(b)
+		if err != nil {
+			return nil, err
 		}
 		if seen[a] {
 			return nil, fmt.Errorf("fleet: duplicate backend %s", a)
@@ -113,6 +163,9 @@ func New(opts Options) (*Router, error) {
 	}
 	if opts.Replicas <= 0 {
 		opts.Replicas = 64
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 2
 	}
 	if opts.ProbeInterval <= 0 {
 		opts.ProbeInterval = 2 * time.Second
@@ -130,6 +183,7 @@ func New(opts Options) (*Router, error) {
 		opts.AttemptTimeout = 2 * time.Minute
 	}
 	opts.Retry = opts.Retry.withDefaults()
+	opts.Breaker = opts.Breaker.withDefaults()
 
 	rt := &Router{
 		opts: opts,
@@ -139,9 +193,11 @@ func New(opts Options) (*Router, error) {
 			DialContext:         (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
 			MaxIdleConnsPerHost: 32,
 		}},
-		backends: map[string]*backendState{},
-		started:  time.Now(),
-		stop:     make(chan struct{}),
+		backends:  map[string]*backendState{},
+		admission: newAdmission(opts.Quota),
+		budget:    newRetryBudget(opts.RetryBudgetRatio),
+		started:   time.Now(),
+		stop:      make(chan struct{}),
 	}
 	for _, a := range addrs {
 		rt.backends[a] = &backendState{addr: a, healthy: true}
@@ -153,15 +209,22 @@ func New(opts Options) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/sweep", rt.handleSweep)
 	rt.mux.HandleFunc("GET /v1/experiments/{id}", rt.handleExperiment)
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /v1/fleet", rt.handleFleetStatus)
+	rt.mux.HandleFunc("POST /v1/fleet/join", rt.handleFleetJoin)
+	rt.mux.HandleFunc("POST /v1/fleet/leave", rt.handleFleetLeave)
 	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound,
-			"no such endpoint %s (have /healthz, /v1/workloads, /v1/eval, /v1/sweep, /v1/experiments/{id}, /v1/stats)",
+			"no such endpoint %s (have /healthz, /v1/workloads, /v1/eval, /v1/sweep, /v1/experiments/{id}, /v1/stats, /v1/fleet)",
 			r.URL.Path)
 	})
 	rt.hs = &http.Server{Handler: rt.mux}
 
 	rt.wg.Add(1)
 	go rt.probeLoop()
+	// Startup fan-out: push warmth to every workload's replica set so the
+	// first primary failure already has a warm standby. R=1 keeps the
+	// PR 7 lazy behavior (engines build on first traffic or rejoin).
+	rt.scheduleFanout(false)
 	return rt, nil
 }
 
@@ -224,12 +287,29 @@ func (rt *Router) probeLoop() {
 	}
 }
 
-// CheckNow probes every backend once, concurrently, applying the
+// members returns the current full membership (healthy or not), sorted.
+func (rt *Router) members() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := append([]string(nil), rt.ring.backends...)
+	sort.Strings(out)
+	return out
+}
+
+// curRing snapshots the ring pointer; a ring is immutable once built, so
+// lookups on the snapshot need no lock.
+func (rt *Router) curRing() *ring {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring
+}
+
+// CheckNow probes every current member once, concurrently, applying the
 // fail/rejoin thresholds. The probe loop calls it on each tick; tests
 // call it to step membership deterministically.
 func (rt *Router) CheckNow() {
 	var wg sync.WaitGroup
-	for _, addr := range rt.ring.backends {
+	for _, addr := range rt.members() {
 		wg.Add(1)
 		go func(addr string) {
 			defer wg.Done()
@@ -258,13 +338,19 @@ func (rt *Router) probe(addr string) {
 
 	rt.mu.Lock()
 	b := rt.backends[addr]
-	rejoined := false
+	if b == nil {
+		// Left the fleet while this probe was in flight.
+		rt.mu.Unlock()
+		return
+	}
+	rejoined, drained := false, false
 	if probeErr != nil {
 		b.consecFails++
 		b.consecOKs = 0
 		b.lastErr = probeErr.Error()
 		if b.healthy && b.consecFails >= rt.opts.FailAfter {
 			b.healthy = false
+			drained = true
 			rt.logf("fleet: backend %s unhealthy after %d consecutive failures (%v)", addr, b.consecFails, probeErr)
 		}
 	} else {
@@ -278,58 +364,149 @@ func (rt *Router) probe(addr string) {
 	}
 	rt.mu.Unlock()
 
-	if rejoined {
-		// Async: prewarm builds engines, which can take seconds — it must
-		// not stall the probe cycle that keeps the rest of the fleet's
-		// membership fresh.
-		rt.wg.Add(1)
-		go func() {
-			defer rt.wg.Done()
-			rt.prewarm(addr)
-		}()
+	if rejoined || drained {
+		// Repair fan-out, async: prewarm builds engines, which can take
+		// seconds — it must not stall the probe cycle that keeps the rest
+		// of the fleet's membership fresh. A drain repairs too: the dead
+		// member's replica sets just gained a new deepest member that may
+		// be cold.
+		rt.scheduleFanout(true)
 	}
 }
 
-// prewarm asks a rejoined backend to build the engines for every
-// workload whose primary it now is again (serve's /v1/prewarm →
-// Manager.Preload), so the rehash back onto it lands warm. Keys covered:
-// the scenario registry plus whatever the backend itself has imported.
-func (rt *Router) prewarm(addr string) {
-	names := append([]string(nil), workload.Names()...)
+// scheduleFanout queues a background prewarm fan-out. repair marks
+// fan-outs triggered by membership change after startup — their builds
+// on a workload's serving candidate are the "traffic could have gone
+// cold" signal (prewarms_cold). Concurrent triggers coalesce: a run in
+// flight is marked dirty and re-runs once with the newest topology.
+func (rt *Router) scheduleFanout(repair bool) {
+	if rt.opts.Replication <= 1 && !repair {
+		// R=1 has no warm standby to maintain; only rejoin/leave repair
+		// (the PR 7 prewarm-on-rejoin path) fans out.
+		return
+	}
+	select {
+	case <-rt.stop:
+		return
+	default:
+	}
+	rt.fanoutMu.Lock()
+	if rt.fanoutActive {
+		rt.fanoutDirty = true
+		rt.fanoutRepair = rt.fanoutRepair || repair
+		rt.fanoutMu.Unlock()
+		return
+	}
+	rt.fanoutActive = true
+	rt.fanoutMu.Unlock()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		for {
+			rt.fanout(repair)
+			rt.fanoutMu.Lock()
+			if rt.fanoutDirty {
+				rt.fanoutDirty = false
+				repair = rt.fanoutRepair
+				rt.fanoutRepair = false
+				rt.fanoutMu.Unlock()
+				continue
+			}
+			rt.fanoutActive = false
+			rt.fanoutMu.Unlock()
+			return
+		}
+	}()
+}
+
+// fanout pushes engine warmth to every workload's current replica set:
+// each healthy backend gets one /v1/prewarm for the workloads whose
+// replica set contains it (serve's Manager.Preload reports which engines
+// it actually had to build). Keys covered: the scenario registry plus
+// the imported workloads visible on any healthy backend.
+func (rt *Router) fanout(repair bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), rt.opts.AttemptTimeout)
 	defer cancel()
-	if wls, err := rt.fetchWorkloads(ctx, addr); err == nil {
+	names := append([]string(nil), workload.Names()...)
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, addr := range rt.healthyBackends() {
+		wls, err := rt.fetchWorkloads(ctx, addr)
+		if err != nil {
+			continue
+		}
 		for _, wl := range wls.Imported {
-			names = append(names, wl.Name)
+			if !seen[wl.Name] {
+				seen[wl.Name] = true
+				names = append(names, wl.Name)
+			}
 		}
 	}
-	var mine []string
+
+	assign := map[string][]string{}
+	serving := map[string]string{}
 	for _, name := range names {
-		if cands := rt.candidates(name); len(cands) > 0 && cands[0] == addr {
-			mine = append(mine, name)
+		rs := rt.replicaSet(name)
+		if len(rs) == 0 {
+			continue
+		}
+		serving[name] = rs[0]
+		for _, a := range rs {
+			assign[a] = append(assign[a], name)
 		}
 	}
-	if len(mine) == 0 {
-		return
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	built := map[string][]string{}
+	for addr, list := range assign {
+		wg.Add(1)
+		go func(addr string, list []string) {
+			defer wg.Done()
+			body, err := json.Marshal(serve.PrewarmRequest{Workloads: list})
+			if err != nil {
+				return
+			}
+			rt.prewarms.Add(1)
+			pr, err := rt.tryOnce(ctx, addr, http.MethodPost, "/v1/prewarm", body, reqMeta{}, 0)
+			if err != nil {
+				rt.logf("fleet: prewarm %s (%d workload(s)): %v", addr, len(list), err)
+				return
+			}
+			var resp serve.PrewarmResponse
+			if json.Unmarshal(pr.body, &resp) == nil {
+				mu.Lock()
+				built[addr] = resp.Built
+				mu.Unlock()
+			}
+		}(addr, list)
 	}
-	body, err := json.Marshal(serve.PrewarmRequest{Workloads: mine})
-	if err != nil {
-		return
+	wg.Wait()
+
+	total, cold := 0, 0
+	for addr, list := range built {
+		for _, n := range list {
+			total++
+			rt.prewarmsBuilt.Add(1)
+			if repair && serving[n] == addr {
+				// A repair fan-out had to build an engine on the backend
+				// currently first in line for the workload: traffic in the
+				// window before this build could have found it cold. With
+				// R>=2 and a clean failover this stays zero — the standby
+				// was already warm and only the new deeper replica builds.
+				cold++
+				rt.prewarmsCold.Add(1)
+			}
+		}
 	}
-	pr, err := rt.tryOnce(ctx, addr, http.MethodPost, "/v1/prewarm", body)
-	if err != nil {
-		rt.logf("fleet: prewarm %s (%d workload(s)): %v", addr, len(mine), err)
-		return
-	}
-	var resp serve.PrewarmResponse
-	if json.Unmarshal(pr.body, &resp) == nil {
-		rt.logf("fleet: prewarm %s: %d engine(s) warm for %v", addr, resp.Warmed, mine)
-	}
+	rt.logf("fleet: prewarm fan-out complete (repair=%v): %d backend(s), %d built, %d cold", repair, len(assign), total, cold)
 }
 
 func (rt *Router) fetchWorkloads(ctx context.Context, addr string) (serve.WorkloadsResponse, error) {
 	var out serve.WorkloadsResponse
-	pr, err := rt.tryOnce(ctx, addr, http.MethodGet, "/v1/workloads", nil)
+	pr, err := rt.tryOnce(ctx, addr, http.MethodGet, "/v1/workloads", nil, reqMeta{}, 0)
 	if err != nil {
 		return out, err
 	}
@@ -339,57 +516,133 @@ func (rt *Router) fetchWorkloads(ctx context.Context, addr string) (serve.Worklo
 // candidates returns the key's failover sequence restricted to healthy
 // backends; empty means every replica is down.
 func (rt *Router) candidates(key string) []string {
-	order := rt.ring.order(key)
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	order := rt.ring.order(key)
 	out := make([]string, 0, len(order))
 	for _, addr := range order {
-		if rt.backends[addr].healthy {
+		if b := rt.backends[addr]; b != nil && b.healthy {
 			out = append(out, addr)
 		}
 	}
 	return out
 }
 
-// primary is the key's owner over the full configured membership,
-// health-blind: serving a key anywhere else counts as a rehash.
+// replicaSet is the key's warm ownership set: its first Replication
+// healthy candidates (all of them when fewer are healthy). The prewarm
+// fan-out keeps engines built exactly here.
+func (rt *Router) replicaSet(key string) []string {
+	out := rt.candidates(key)
+	if len(out) > rt.opts.Replication {
+		out = out[:rt.opts.Replication]
+	}
+	return out
+}
+
+// warmSet is the key's health-blind first-R ring walk: the backends
+// replication is expected to have kept warm. Serving from warmSet[1:] is
+// a failover (warm standby took over); serving outside it is a rehash
+// (the PR 7 cold path).
+func (rt *Router) warmSet(key string) []string {
+	return rt.curRing().replicaSet(key, rt.opts.Replication)
+}
+
+// primary is the key's owner over the full current membership,
+// health-blind.
 func (rt *Router) primary(key string) string {
-	return rt.ring.order(key)[0]
+	return rt.curRing().order(key)[0]
+}
+
+// classifyServed books the served-by counters: primary hits are free,
+// warm-standby hits count as failovers, anything else as rehashes.
+func (rt *Router) classifyServed(key, addr string) {
+	warm := rt.warmSet(key)
+	if len(warm) > 0 && addr == warm[0] {
+		return
+	}
+	for _, a := range warm {
+		if a == addr {
+			rt.failovers.Add(1)
+			return
+		}
+	}
+	rt.rehashes.Add(1)
 }
 
 func (rt *Router) noteRequest(addr string) {
 	rt.mu.Lock()
-	rt.backends[addr].requests++
+	if b := rt.backends[addr]; b != nil {
+		b.requests++
+	}
 	rt.mu.Unlock()
 }
 
 // noteFailure records a data-path transport failure; it feeds the same
-// fail threshold as probes, so a killed backend drains from the ring at
-// request speed instead of waiting out a probe cycle.
+// fail threshold as probes — so a killed backend drains from the ring at
+// request speed instead of waiting out a probe cycle — and the backend's
+// circuit breaker.
 func (rt *Router) noteFailure(addr string, err error) {
 	rt.mu.Lock()
 	b := rt.backends[addr]
+	if b == nil {
+		rt.mu.Unlock()
+		return
+	}
 	b.failures++
 	b.consecFails++
 	b.consecOKs = 0
 	b.lastErr = err.Error()
+	drained := false
 	if b.healthy && b.consecFails >= rt.opts.FailAfter {
 		b.healthy = false
+		drained = true
 		rt.logf("fleet: backend %s unhealthy after %d consecutive failures (%v)", addr, b.consecFails, err)
+	}
+	if opened := b.brk.onFailure(rt.opts.Breaker, time.Now()); opened {
+		rt.logf("fleet: breaker open for %s (%d consecutive data-path failures, cooldown %s)", addr, b.brk.fails, rt.opts.Breaker.Cooldown)
+	}
+	rt.mu.Unlock()
+	if drained {
+		// The dead member's replica sets gained a new deepest member that
+		// may be cold; warm it in the background.
+		rt.scheduleFanout(true)
+	}
+}
+
+// noteSuccess resets the failure streak and closes the breaker. It never
+// flips an unhealthy backend back by itself: rejoin is the prober's job,
+// because rejoin also triggers the prewarm fan-out.
+func (rt *Router) noteSuccess(addr string) {
+	rt.mu.Lock()
+	b := rt.backends[addr]
+	if b == nil {
+		rt.mu.Unlock()
+		return
+	}
+	if b.healthy {
+		b.consecFails = 0
+	}
+	if closed := b.brk.onSuccess(); closed {
+		rt.logf("fleet: breaker closed for %s (data-path success)", addr)
 	}
 	rt.mu.Unlock()
 }
 
-// noteSuccess resets the failure streak. It never flips an unhealthy
-// backend back by itself: rejoin is the prober's job, because rejoin
-// also triggers prewarm.
-func (rt *Router) noteSuccess(addr string) {
-	rt.mu.Lock()
-	b := rt.backends[addr]
-	if b.healthy {
-		b.consecFails = 0
+// breakerAllow reports whether the breaker admits a request to addr. In
+// the half-open window exactly one caller gets the probe slot; a true
+// return is a commitment to actually send the request (its outcome is
+// what resets or re-opens the breaker).
+func (rt *Router) breakerAllow(addr string) bool {
+	if rt.opts.Breaker.Threshold < 0 {
+		return true
 	}
-	rt.mu.Unlock()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := rt.backends[addr]
+	if b == nil {
+		return false
+	}
+	return b.brk.allow(time.Now())
 }
 
 // healthSnapshot returns the per-backend health rows and the healthy

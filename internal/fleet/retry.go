@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/serve"
@@ -61,6 +63,59 @@ func (p RetryPolicy) sleep(ctx context.Context, n int) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// retryBudget is the router-wide token bucket that bounds retry and
+// hedge amplification: every admitted request funds it by ratio tokens,
+// every retry or hedge spends one. When a chunk of the fleet degrades,
+// first attempts keep flowing but the extra attempts that would multiply
+// the load dry up at ~ratio of traffic. The bucket starts full so a
+// cold router can still retry its very first failures.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+}
+
+// retryBudgetCap bounds the banked tokens: bursts of quiet traffic must
+// not save up an unbounded retry storm.
+const retryBudgetCap = 10
+
+// newRetryBudget builds the bucket; ratio 0 means the default 0.1, and a
+// negative ratio disables budgeting (nil — every spend succeeds).
+func newRetryBudget(ratio float64) *retryBudget {
+	if ratio < 0 {
+		return nil
+	}
+	if ratio == 0 {
+		ratio = 0.1
+	}
+	return &retryBudget{tokens: retryBudgetCap, ratio: ratio}
+}
+
+// fund credits one incoming request's worth of budget.
+func (b *retryBudget) fund() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens = math.Min(b.tokens+b.ratio, retryBudgetCap)
+	b.mu.Unlock()
+}
+
+// spend takes one token for a retry or hedge; false means the budget is
+// exhausted and the extra attempt must not be sent.
+func (b *retryBudget) spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 // StatusError is a backend response the router treats as a transport

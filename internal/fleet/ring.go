@@ -66,3 +66,16 @@ func (r *ring) order(key string) []string {
 	}
 	return out
 }
+
+// replicaSet returns the key's first n distinct backends in ring-walk
+// order (all of them when fewer exist) — the workload's warm ownership
+// set over the full membership, health-blind. Health filtering is the
+// router's job; keeping the set a pure function of (membership, key, n)
+// is what makes a rejoin restore the exact pre-failure replica map.
+func (r *ring) replicaSet(key string, n int) []string {
+	out := r.order(key)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

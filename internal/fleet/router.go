@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -29,6 +31,67 @@ const maxStreamLine = 1 << 20
 // line opens with it, no Point line does.
 var trailerPrefix = []byte(`{"done":`)
 
+// reqMeta is the per-request end-to-end metadata the router threads
+// through every attempt: the tenant (X-Tenant) and the client's absolute
+// deadline (X-Deadline), both forwarded to whichever backend serves.
+type reqMeta struct {
+	tenant      string
+	deadline    time.Time
+	hasDeadline bool
+}
+
+// apply stamps the metadata onto an outgoing backend request.
+func (m reqMeta) apply(h http.Header) {
+	if m.tenant != "" {
+		h.Set(serve.TenantHeader, m.tenant)
+	}
+	if m.hasDeadline {
+		serve.SetDeadlineHeader(h, m.deadline)
+	}
+}
+
+// attemptBudget splits the remaining deadline evenly over the attempts
+// still available — each retry gets a shrinking slice instead of the
+// first attempt eating the whole budget — floored at 5ms so an attempt
+// is never pointless. expired reports the deadline already passed.
+func (m reqMeta) attemptBudget(attemptsLeft int) (budget time.Duration, expired bool) {
+	if !m.hasDeadline {
+		return 0, false
+	}
+	remaining := time.Until(m.deadline)
+	if remaining <= 0 {
+		return 0, true
+	}
+	if attemptsLeft < 1 {
+		attemptsLeft = 1
+	}
+	budget = remaining / time.Duration(attemptsLeft)
+	if budget < 5*time.Millisecond {
+		budget = 5 * time.Millisecond
+	}
+	return budget, false
+}
+
+// admit is the per-request front door: deadline parsing, per-tenant
+// admission, retry-budget funding. On refusal it writes the structured
+// 400/429 itself and returns ok=false.
+func (rt *Router) admit(w http.ResponseWriter, r *http.Request) (reqMeta, bool) {
+	var m reqMeta
+	m.tenant = r.Header.Get(serve.TenantHeader)
+	deadline, ok, err := serve.ParseDeadlineHeader(r.Header.Get(serve.DeadlineHeader), time.Now())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return m, false
+	}
+	m.deadline, m.hasDeadline = deadline, ok
+	if retryAfter, admitted := rt.admission.admit(m.tenant); !admitted {
+		rt.writeQuotaExceeded(w, m.tenant, retryAfter, "request rate quota exceeded")
+		return m, false
+	}
+	rt.budget.fund()
+	return m, true
+}
+
 // proxyResult is one successful buffered attempt.
 type proxyResult struct {
 	status      int
@@ -36,11 +99,16 @@ type proxyResult struct {
 	body        []byte
 }
 
-// tryOnce issues one buffered attempt against a backend. Transport
-// failures and gateway-style statuses come back as errors (retryable);
-// any other status is the backend's answer, success or not.
-func (rt *Router) tryOnce(ctx context.Context, addr, method, path string, body []byte) (*proxyResult, error) {
-	ctx, cancel := context.WithTimeout(ctx, rt.opts.AttemptTimeout)
+// tryOnce issues one buffered attempt against a backend, bounded by
+// budget (0 = the configured AttemptTimeout; a deadline-derived budget
+// is additionally capped by it). Transport failures and gateway-style
+// statuses come back as errors (retryable); any other status is the
+// backend's answer, success or not.
+func (rt *Router) tryOnce(ctx context.Context, addr, method, path string, body []byte, m reqMeta, budget time.Duration) (*proxyResult, error) {
+	if budget <= 0 || budget > rt.opts.AttemptTimeout {
+		budget = rt.opts.AttemptTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 	var rd io.Reader
 	if body != nil {
@@ -53,6 +121,7 @@ func (rt *Router) tryOnce(ctx context.Context, addr, method, path string, body [
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	m.apply(req.Header)
 	rt.noteRequest(addr)
 	resp, err := rt.hc.Do(req)
 	if err != nil {
@@ -85,47 +154,93 @@ func deliver(w http.ResponseWriter, addr string, pr *proxyResult) {
 	w.Write(pr.body)
 }
 
+// pickCandidate walks cands from *next, skipping backends whose circuit
+// breaker refuses traffic, and returns the first admitted one. A true
+// return may hold a half-open probe slot, so the caller must actually
+// send the request.
+func (rt *Router) pickCandidate(cands []string, next *int) (string, bool) {
+	for range cands {
+		addr := cands[*next%len(cands)]
+		*next++
+		if rt.breakerAllow(addr) {
+			return addr, true
+		}
+	}
+	return "", false
+}
+
+// breakerClosed is a read-only check (no half-open slot taken), used to
+// decide whether a hedge may target addr.
+func (rt *Router) breakerClosed(addr string) bool {
+	if rt.opts.Breaker.Threshold < 0 {
+		return true
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := rt.backends[addr]
+	return b != nil && b.brk.openUntil.IsZero()
+}
+
 // forward proxies a buffered request for key: candidates in ring order,
-// idempotent-only retries with capped jittered backoff, optional
-// straggler hedging on the first attempt. It writes the response (or the
-// error) itself.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key, method, path string, body []byte, hedge bool) {
+// idempotent-only retries with capped jittered backoff (spending the
+// retry budget), optional straggler hedging on the first attempt, and
+// per-attempt deadline slices when the request carries one. It writes
+// the response (or the structured error) itself.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key, method, path string, body []byte, hedge bool, m reqMeta) {
 	cands := rt.candidates(key)
 	if len(cands) == 0 {
 		rt.writeUnavailable(w, key)
 		return
 	}
-	primary := rt.primary(key)
 	pol := rt.opts.Retry
 	var lastErr error
 	next := 0 // index into cands, wrapped
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if !rt.budget.spend() {
+				rt.retryExhausted.Add(1)
+				rt.logf("fleet: retry budget exhausted for %s %s (last error: %v)", method, path, lastErr)
+				break
+			}
 			rt.retries.Add(1)
 			if err := pol.sleep(r.Context(), attempt); err != nil {
 				break
 			}
 		}
+		budget, expired := m.attemptBudget(pol.MaxAttempts - attempt)
+		if expired {
+			rt.writeDeadlineExceeded(w, key, m)
+			return
+		}
 		var pr *proxyResult
 		var addr string
 		var err error
-		if attempt == 0 && hedge && len(cands) > 1 && rt.opts.HedgeAfter >= 0 {
+		if attempt == 0 && hedge && len(cands) > 1 && rt.opts.HedgeAfter >= 0 &&
+			rt.breakerClosed(cands[0]) && rt.breakerClosed(cands[1]) {
 			start := time.Now()
-			pr, addr, err = rt.hedgedAttempt(r.Context(), cands[0], cands[1], method, path, body)
+			pr, addr, err = rt.hedgedAttempt(r.Context(), cands[0], cands[1], method, path, body, m, budget)
 			if err == nil {
 				rt.lat.record(time.Since(start))
 			}
 			next = 2
 		} else {
-			addr = cands[next%len(cands)]
-			next++
-			pr, err = rt.tryOnce(r.Context(), addr, method, path, body)
+			var ok bool
+			addr, ok = rt.pickCandidate(cands, &next)
+			if !ok {
+				// Every healthy candidate is breaker-open: refuse
+				// structurally rather than hammering backends the breaker
+				// just decided to protect.
+				if lastErr == nil {
+					rt.writeBreakerOpen(w, key)
+					return
+				}
+				break
+			}
+			pr, err = rt.tryOnce(r.Context(), addr, method, path, body, m, budget)
 		}
 		if err == nil {
 			rt.noteSuccess(addr)
-			if addr != primary {
-				rt.rehashes.Add(1)
-			}
+			rt.classifyServed(key, addr)
 			deliver(w, addr, pr)
 			return
 		}
@@ -137,14 +252,19 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key, method, p
 			break
 		}
 	}
+	if m.hasDeadline && time.Until(m.deadline) <= 0 {
+		rt.writeDeadlineExceeded(w, key, m)
+		return
+	}
 	writeError(w, http.StatusBadGateway, "fleet: %s %s failed after retries: %v", method, path, lastErr)
 }
 
 // hedgedAttempt races the primary against a delayed second replica: the
 // hedge fires when the primary straggles past the threshold, or
-// immediately when it fails outright. First success wins and the loser
-// is cancelled.
-func (rt *Router) hedgedAttempt(ctx context.Context, a, b, method, path string, body []byte) (*proxyResult, string, error) {
+// immediately when it fails outright. Both the hedge and the immediate
+// failover spend the retry budget. First success wins and the loser is
+// cancelled.
+func (rt *Router) hedgedAttempt(ctx context.Context, a, b, method, path string, body []byte, m reqMeta, budget time.Duration) (*proxyResult, string, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
@@ -154,7 +274,7 @@ func (rt *Router) hedgedAttempt(ctx context.Context, a, b, method, path string, 
 	}
 	ch := make(chan result, 2)
 	launch := func(addr string) {
-		pr, err := rt.tryOnce(hctx, addr, method, path, body)
+		pr, err := rt.tryOnce(hctx, addr, method, path, body, m, budget)
 		ch <- result{pr, err, addr}
 	}
 	go launch(a)
@@ -178,7 +298,12 @@ func (rt *Router) hedgedAttempt(ctx context.Context, a, b, method, path string, 
 			errs = append(errs, fmt.Errorf("%s: %w", res.addr, res.err))
 			if !secondLaunched {
 				// The primary failed before the hedge fired: fail over
-				// immediately, no point waiting out the timer.
+				// immediately (no point waiting out the timer) — if the
+				// retry budget still allows it.
+				if !rt.budget.spend() {
+					rt.retryExhausted.Add(1)
+					return nil, "", errors.Join(errs...)
+				}
 				secondLaunched = true
 				rt.retries.Add(1)
 				outstanding++
@@ -187,7 +312,7 @@ func (rt *Router) hedgedAttempt(ctx context.Context, a, b, method, path string, 
 				return nil, "", errors.Join(errs...)
 			}
 		case <-timer.C:
-			if !secondLaunched {
+			if !secondLaunched && rt.budget.spend() {
 				secondLaunched = true
 				hedged = true
 				rt.hedges.Add(1)
@@ -203,6 +328,7 @@ func (rt *Router) hedgedAttempt(ctx context.Context, a, b, method, path string, 
 func (rt *Router) writeUnavailable(w http.ResponseWriter, key string) {
 	rt.unavailable.Add(1)
 	_, healthy := rt.healthSnapshot()
+	total := len(rt.members())
 	retryAfter := int((2*rt.opts.ProbeInterval + time.Second - 1) / time.Second)
 	if retryAfter < 1 {
 		retryAfter = 1
@@ -215,10 +341,71 @@ func (rt *Router) writeUnavailable(w http.ResponseWriter, key string) {
 	enc.Encode(Unavailable{
 		Error: fmt.Sprintf(
 			"fleet: no healthy backend for workload %q (%d/%d backends healthy); retry after the probe horizon",
-			key, healthy, len(rt.ring.backends)),
+			key, healthy, total),
 		RetryAfterSeconds: retryAfter,
-		BackendsTotal:     len(rt.ring.backends),
+		BackendsTotal:     total,
 		BackendsHealthy:   healthy,
+	})
+}
+
+// writeBreakerOpen is the structured 503 for "members are nominally
+// healthy but every candidate's circuit breaker refuses traffic".
+func (rt *Router) writeBreakerOpen(w http.ResponseWriter, key string) {
+	rt.unavailable.Add(1)
+	_, healthy := rt.healthSnapshot()
+	total := len(rt.members())
+	retryAfter := int((rt.opts.Breaker.Cooldown + time.Second - 1) / time.Second)
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(Unavailable{
+		Error: fmt.Sprintf(
+			"fleet: circuit breaker open for every replica of workload %q; retry after the breaker cooldown",
+			key),
+		RetryAfterSeconds: retryAfter,
+		BackendsTotal:     total,
+		BackendsHealthy:   healthy,
+	})
+}
+
+func tenantName(tenant string) string {
+	if tenant == "" {
+		return "(anonymous)"
+	}
+	return tenant
+}
+
+// writeQuotaExceeded is the structured 429 with Retry-After.
+func (rt *Router) writeQuotaExceeded(w http.ResponseWriter, tenant string, retryAfter time.Duration, what string) {
+	rt.quotaRejected.Add(1)
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.WriteHeader(http.StatusTooManyRequests)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(QuotaExceeded{
+		Error:             fmt.Sprintf("fleet: tenant %s %s; retry after %ds", tenantName(tenant), what, secs),
+		Tenant:            tenant,
+		RetryAfterSeconds: secs,
+	})
+}
+
+// writeDeadlineExceeded is the structured 504: the request's X-Deadline
+// expired before any backend completed it.
+func (rt *Router) writeDeadlineExceeded(w http.ResponseWriter, key string, m reqMeta) {
+	rt.deadlineExceeded.Add(1)
+	writeJSON(w, http.StatusGatewayTimeout, DeadlineExceeded{
+		Error:          fmt.Sprintf("fleet: deadline expired before the request for %q completed", key),
+		DeadlineUnixMS: m.deadline.UnixMilli(),
 	})
 }
 
@@ -235,7 +422,7 @@ func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // handleWorkloads merges the fleet's view: the registry from any healthy
 // backend (identical everywhere), the imported lists unioned across
-// backends (each import lives on its owner).
+// backends (each import lives on its owners).
 func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	type fetched struct {
 		wls serve.WorkloadsResponse
@@ -290,7 +477,7 @@ func (rt *Router) healthyBackends() []string {
 	defer rt.mu.Unlock()
 	var out []string
 	for _, addr := range rt.ring.backends {
-		if rt.backends[addr].healthy {
+		if b := rt.backends[addr]; b != nil && b.healthy {
 			out = append(out, addr)
 		}
 	}
@@ -299,8 +486,13 @@ func (rt *Router) healthyBackends() []string {
 
 // handleImport routes an upload to the backend owning the workload's
 // name — the same backend every eval and sweep for that name will hash
-// to.
+// to. The fan-out replicates the engine to the rest of the replica set
+// on the next membership change; until then replicas build it lazily.
 func (rt *Router) handleImport(w http.ResponseWriter, r *http.Request) {
+	m, ok := rt.admit(w, r)
+	if !ok {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -311,18 +503,26 @@ func (rt *Router) handleImport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rt.forward(w, r, wl.Name, http.MethodPost, "/v1/workloads", body, false)
+	rt.forward(w, r, wl.Name, http.MethodPost, "/v1/workloads", body, false, m)
 }
 
 func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
+	m, ok := rt.admit(w, r)
+	if !ok {
+		return
+	}
 	key := r.URL.Query().Get("workload")
 	if key == "" {
 		key = workload.Default
 	}
-	rt.forward(w, r, key, http.MethodGet, "/v1/eval?"+r.URL.RawQuery, nil, true)
+	rt.forward(w, r, key, http.MethodGet, "/v1/eval?"+r.URL.RawQuery, nil, true, m)
 }
 
 func (rt *Router) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	m, ok := rt.admit(w, r)
+	if !ok {
+		return
+	}
 	key := r.URL.Query().Get("workload")
 	if key == "" {
 		key = workload.Default
@@ -331,10 +531,14 @@ func (rt *Router) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
-	rt.forward(w, r, key, http.MethodGet, path, nil, false)
+	rt.forward(w, r, key, http.MethodGet, path, nil, false, m)
 }
 
 func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	m, ok := rt.admit(w, r)
+	if !ok {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -349,11 +553,18 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if key == "" {
 		key = workload.Default
 	}
-	if !streaming(r) {
-		rt.forward(w, r, key, http.MethodPost, "/v1/sweep", body, false)
+	// Sweeps pin an engine for seconds; the concurrent-sweep quota keeps
+	// one tenant from monopolizing every backend at once.
+	if !rt.admission.beginSweep(m.tenant) {
+		rt.writeQuotaExceeded(w, m.tenant, time.Second, "concurrent-sweep quota exceeded")
 		return
 	}
-	rt.streamSweep(w, r, key, body)
+	defer rt.admission.endSweep(m.tenant)
+	if !streaming(r) {
+		rt.forward(w, r, key, http.MethodPost, "/v1/sweep", body, false, m)
+		return
+	}
+	rt.streamSweep(w, r, key, body, m)
 }
 
 // streamSweep proxies an NDJSON sweep with mid-stream failover: points
@@ -362,37 +573,71 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 // prefix already delivered is skipped, so the client sees one seamless
 // complete stream. The router writes the terminating trailer itself once
 // some attempt reaches the backend's trailer.
-func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, key string, body []byte, m reqMeta) {
 	cands := rt.candidates(key)
 	if len(cands) == 0 {
 		rt.writeUnavailable(w, key)
 		return
 	}
-	primary := rt.primary(key)
+	ctx := r.Context()
+	if m.hasDeadline {
+		// The deadline rides both the context (kills the proxy leg) and
+		// the forwarded header (the backend aborts between sweep cells).
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, m.deadline)
+		defer cancel()
+	}
 	flusher, _ := w.(http.Flusher)
 	pol := rt.opts.Retry
 	sent := 0
+	next := 0
 	headerWritten := false
+	tried := make(map[string]bool, len(cands))
 	var lastErr error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			if !rt.budget.spend() {
+				rt.retryExhausted.Add(1)
+				rt.logf("fleet: retry budget exhausted for sweep stream %q (last error: %v)", key, lastErr)
+				break
+			}
 			rt.retries.Add(1)
-			if err := pol.sleep(r.Context(), attempt); err != nil {
-				return
+			if err := pol.sleep(ctx, attempt); err != nil {
+				break
 			}
 			// Refresh membership between attempts: noteFailure may have
-			// drained the backend that just died mid-stream.
+			// drained the backend that just died mid-stream. Walk the
+			// fresh list from its head, skipping members already tried
+			// this request — the drain shifts everyone left, and keeping
+			// the old numeric index would skip the warm standby.
 			if live := rt.candidates(key); len(live) > 0 {
-				cands = live
+				fresh := make([]string, 0, len(live))
+				for _, a := range live {
+					if !tried[a] {
+						fresh = append(fresh, a)
+					}
+				}
+				if len(fresh) > 0 {
+					cands, next = fresh, 0
+				}
 			}
 		}
-		addr := cands[attempt%len(cands)]
-		err := rt.streamAttempt(r.Context(), addr, body, &sent, &headerWritten, w, flusher)
+		if m.hasDeadline && time.Until(m.deadline) <= 0 {
+			break
+		}
+		addr, ok := rt.pickCandidate(cands, &next)
+		if !ok {
+			if !headerWritten {
+				rt.writeBreakerOpen(w, key)
+				return
+			}
+			break
+		}
+		tried[addr] = true
+		err := rt.streamAttempt(ctx, addr, body, m, &sent, &headerWritten, w, flusher)
 		if err == nil {
 			rt.noteSuccess(addr)
-			if addr != primary {
-				rt.rehashes.Add(1)
-			}
+			rt.classifyServed(key, addr)
 			if !headerWritten {
 				writeStreamHeader(w)
 			}
@@ -407,6 +652,10 @@ func (rt *Router) streamSweep(w http.ResponseWriter, r *http.Request, key string
 		}
 	}
 	if !headerWritten {
+		if m.hasDeadline && time.Until(m.deadline) <= 0 {
+			rt.writeDeadlineExceeded(w, key, m)
+			return
+		}
 		writeError(w, http.StatusBadGateway, "fleet: sweep stream failed after retries: %v", lastErr)
 		return
 	}
@@ -426,12 +675,13 @@ func writeStreamHeader(w http.ResponseWriter) {
 // deterministic and ordered, so the retry's prefix is byte-identical)
 // and forwarding the rest. Returns nil once the backend's trailer
 // confirms a complete stream.
-func (rt *Router) streamAttempt(ctx context.Context, addr string, body []byte, sent *int, headerWritten *bool, w http.ResponseWriter, flusher http.Flusher) error {
+func (rt *Router) streamAttempt(ctx context.Context, addr string, body []byte, m reqMeta, sent *int, headerWritten *bool, w http.ResponseWriter, flusher http.Flusher) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/sweep?stream=1", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	m.apply(req.Header)
 	rt.noteRequest(addr)
 	resp, err := rt.hc.Do(req)
 	if err != nil {
@@ -508,31 +758,45 @@ func (rt *Router) streamAttempt(ctx context.Context, addr string, body []byte, s
 	return fmt.Errorf("fleet: %w: backend %s closed after %d point(s) with no trailer", serve.ErrTruncatedStream, addr, n)
 }
 
-// handleStats aggregates: the router's own counters and routing table,
-// plus each backend's proxied /v1/stats.
+// handleStats aggregates: the router's own counters, the replica map,
+// the per-tenant ledger, plus each backend's proxied /v1/stats. Backends
+// are scraped concurrently under a short per-backend deadline, so one
+// hung backend reports as health "timeout" instead of stalling the
+// whole endpoint.
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	rows, healthy := rt.healthSnapshot()
 	resp := StatsResponse{
 		Fleet: FleetInfo{
-			Status:          fleetStatus(healthy, len(rows)),
-			UptimeSeconds:   time.Since(rt.started).Seconds(),
-			BackendsTotal:   len(rows),
-			BackendsHealthy: healthy,
-			Rehashes:        rt.rehashes.Load(),
-			Retries:         rt.retries.Load(),
-			Hedges:          rt.hedges.Load(),
-			HedgeWins:       rt.hedgeWins.Load(),
-			Unavailable:     rt.unavailable.Load(),
-			HedgeAfterMS:    float64(rt.hedgeDelay()) / float64(time.Millisecond),
-			Routing:         map[string]string{},
+			Status:               fleetStatus(healthy, len(rows)),
+			UptimeSeconds:        time.Since(rt.started).Seconds(),
+			BackendsTotal:        len(rows),
+			BackendsHealthy:      healthy,
+			Replication:          rt.opts.Replication,
+			Failovers:            rt.failovers.Load(),
+			Rehashes:             rt.rehashes.Load(),
+			Retries:              rt.retries.Load(),
+			Hedges:               rt.hedges.Load(),
+			HedgeWins:            rt.hedgeWins.Load(),
+			Unavailable:          rt.unavailable.Load(),
+			Prewarms:             rt.prewarms.Load(),
+			PrewarmsBuilt:        rt.prewarmsBuilt.Load(),
+			PrewarmsCold:         rt.prewarmsCold.Load(),
+			RetryBudgetExhausted: rt.retryExhausted.Load(),
+			QuotaRejected:        rt.quotaRejected.Load(),
+			DeadlineExceeded:     rt.deadlineExceeded.Load(),
+			HedgeAfterMS:         float64(rt.hedgeDelay()) / float64(time.Millisecond),
+			Routing:              map[string]string{},
+			Replicas:             map[string][]string{},
 		},
 		Backends: make([]BackendStats, len(rows)),
 	}
 	for _, name := range workload.Names() {
-		if cands := rt.candidates(name); len(cands) > 0 {
-			resp.Fleet.Routing[name] = cands[0]
+		if rs := rt.replicaSet(name); len(rs) > 0 {
+			resp.Fleet.Routing[name] = rs[0]
+			resp.Fleet.Replicas[name] = rs
 		}
 	}
+	now := time.Now()
 	var wg sync.WaitGroup
 	for i, row := range rows {
 		resp.Backends[i] = BackendStats{
@@ -540,32 +804,75 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 			Healthy:             row.Healthy,
 			ConsecutiveFailures: row.ConsecutiveFailures,
 			LastError:           row.LastError,
+			Health:              "unhealthy",
+			Breaker:             BreakerClosed,
 		}
 		rt.mu.Lock()
 		if b := rt.backends[row.Addr]; b != nil {
 			resp.Backends[i].Requests = b.requests
 			resp.Backends[i].Failures = b.failures
+			resp.Backends[i].Breaker = b.brk.state(now)
 		}
 		rt.mu.Unlock()
 		if !row.Healthy {
 			continue
 		}
+		resp.Backends[i].Health = "unreachable" // upgraded by a successful scrape
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ProbeTimeout+2*time.Second)
-			defer cancel()
-			pr, err := rt.tryOnce(ctx, addr, http.MethodGet, "/v1/stats", nil)
+			pr, err := rt.tryOnce(r.Context(), addr, http.MethodGet, "/v1/stats", nil, reqMeta{}, rt.opts.ProbeTimeout)
 			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					resp.Backends[i].Health = "timeout"
+				}
 				return
 			}
 			var ss serve.StatsResponse
 			if json.Unmarshal(pr.body, &ss) == nil {
 				resp.Backends[i].Stats = &ss
+				resp.Backends[i].Health = "ok"
 			}
 		}(i, row.Addr)
 	}
 	wg.Wait()
+
+	// Per-tenant engine-budget attribution: each warm engine's mem_units
+	// split across the tenants that used it, proportional to their share
+	// of its recorded requests.
+	units := map[string]float64{}
+	for i := range resp.Backends {
+		if resp.Backends[i].Stats == nil {
+			continue
+		}
+		for _, e := range resp.Backends[i].Stats.Engines {
+			var total int64
+			for _, n := range e.Tenants {
+				total += n
+			}
+			if total == 0 {
+				continue
+			}
+			for t, n := range e.Tenants {
+				units[t] += float64(e.MemUnits) * float64(n) / float64(total)
+			}
+		}
+	}
+	tenants, names := rt.admission.snapshot()
+	if len(tenants) > 0 || len(units) > 0 {
+		resp.Fleet.Tenants = map[string]TenantStats{}
+		for _, name := range names {
+			ts := tenants[name]
+			ts.EngineUnits = int64(math.Round(units[name]))
+			resp.Fleet.Tenants[name] = ts
+			delete(units, name)
+		}
+		// Tenants visible on backends but not in this router's ledger
+		// (e.g. another router's traffic against the same fleet).
+		for name, u := range units {
+			resp.Fleet.Tenants[name] = TenantStats{EngineUnits: int64(math.Round(u))}
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

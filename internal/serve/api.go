@@ -51,11 +51,14 @@ type PrewarmRequest struct {
 }
 
 // PrewarmResponse is the POST /v1/prewarm body: how many engines warmed,
-// and the per-workload failures (unknown names, build errors) that were
-// skipped — a partial prewarm is success for the names that built, same
-// contract as -preload.
+// which of them were actually constructed (Built) rather than found
+// already warm — the fleet router's replica-warm accounting hinges on
+// that distinction — and the per-workload failures (unknown names,
+// build errors) that were skipped. A partial prewarm is success for the
+// names that built, same contract as -preload.
 type PrewarmResponse struct {
 	Warmed int      `json:"warmed"`
+	Built  []string `json:"built,omitempty"`
 	Errors []string `json:"errors,omitempty"`
 }
 
@@ -165,6 +168,10 @@ type EngineStats struct {
 	MemUnits int64 `json:"mem_units"`
 	// Requests counts acquisitions of this engine since it was built.
 	Requests int64 `json:"requests"`
+	// Tenants breaks Requests down by X-Tenant header value (anonymous
+	// requests are not recorded) — the serve-side half of the fleet's
+	// per-tenant engine-budget attribution.
+	Tenants map[string]int64 `json:"tenants,omitempty"`
 	// The engine's unique-computation counters (perfcost.Engine.Stats):
 	// repeated queries that hit the schedule caches do not move these.
 	WidenComputes int64 `json:"widen_computes"`

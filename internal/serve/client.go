@@ -38,6 +38,10 @@ type ClientOptions struct {
 	// workbench experiment; negative disables the bound). A tighter
 	// caller deadline on the context always wins.
 	RequestTimeout time.Duration
+	// Tenant names this client on every request (the X-Tenant header), so
+	// the fleet router's admission control and the server's engine-budget
+	// attribution can tell tenants apart. Empty = anonymous.
+	Tenant string
 }
 
 const (
@@ -52,6 +56,7 @@ type Client struct {
 	base    string
 	hc      *http.Client
 	timeout time.Duration
+	tenant  string
 }
 
 // NewClient targets a server base URL (e.g. "http://127.0.0.1:8080")
@@ -78,7 +83,7 @@ func NewClientOptions(base string, opts ClientOptions) *Client {
 		DialContext:         (&net.Dialer{Timeout: dial}).DialContext,
 		TLSHandshakeTimeout: dial,
 	}}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc, timeout: timeout}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, timeout: timeout, tenant: opts.Tenant}
 }
 
 // NewClientHTTP is NewClient with a custom http.Client (timeouts,
@@ -89,9 +94,18 @@ func NewClientHTTP(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// propagateDeadline marks a context whose caller set an explicit
+// deadline, so do forwards it as an X-Deadline header. The client's own
+// default RequestTimeout is deliberately not propagated: it is a local
+// hang guard, not an end-to-end budget the server should act on.
+type propagateDeadline struct{}
+
 // reqCtx applies the client's request timeout. The caller's own deadline,
 // when earlier, is preserved by context.WithTimeout semantics.
 func (c *Client) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		ctx = context.WithValue(ctx, propagateDeadline{}, true)
+	}
 	if c.timeout > 0 {
 		return context.WithTimeout(ctx, c.timeout)
 	}
@@ -293,6 +307,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
+	}
+	if on, _ := ctx.Value(propagateDeadline{}).(bool); on {
+		if d, ok := ctx.Deadline(); ok {
+			SetDeadlineHeader(req.Header, d)
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

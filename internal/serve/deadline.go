@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries a request's end-to-end deadline. Two formats
+// are accepted: an absolute unix timestamp in milliseconds (what
+// serve.Client and the fleet router send — absolute times survive
+// multi-hop forwarding without the budget resetting per hop), or a Go
+// duration relative to the request's arrival ("50ms", "2s" — the
+// curl-friendly form). A request whose deadline passes is answered with
+// a structured 504 instead of holding the connection until the
+// transport gives up, and long evaluations abort between sweep cells.
+const DeadlineHeader = "X-Deadline"
+
+// TenantHeader names the client for per-tenant admission control and
+// engine-budget attribution. Empty means the anonymous default tenant.
+const TenantHeader = "X-Tenant"
+
+// ParseDeadlineHeader decodes a DeadlineHeader value. ok is false when
+// the header is absent (no deadline requested).
+func ParseDeadlineHeader(v string, now time.Time) (deadline time.Time, ok bool, err error) {
+	if v == "" {
+		return time.Time{}, false, nil
+	}
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.UnixMilli(ms), true, nil
+	}
+	d, derr := time.ParseDuration(v)
+	if derr != nil {
+		return time.Time{}, false, fmt.Errorf("bad %s %q: want unix milliseconds or a duration like 50ms", DeadlineHeader, v)
+	}
+	if d < 0 {
+		return time.Time{}, false, fmt.Errorf("bad %s %q: negative duration", DeadlineHeader, v)
+	}
+	return now.Add(d), true, nil
+}
+
+// SetDeadlineHeader writes the absolute form of the header.
+func SetDeadlineHeader(h http.Header, deadline time.Time) {
+	h.Set(DeadlineHeader, strconv.FormatInt(deadline.UnixMilli(), 10))
+}

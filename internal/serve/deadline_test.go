@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestParseDeadlineHeader(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	t.Run("absent", func(t *testing.T) {
+		_, ok, err := ParseDeadlineHeader("", now)
+		if ok || err != nil {
+			t.Fatalf("empty header: ok=%v err=%v, want no deadline, no error", ok, err)
+		}
+	})
+	t.Run("unix-millis", func(t *testing.T) {
+		want := now.Add(250 * time.Millisecond)
+		d, ok, err := ParseDeadlineHeader(strconv.FormatInt(want.UnixMilli(), 10), now)
+		if err != nil || !ok || !d.Equal(want) {
+			t.Fatalf("millis form: %v ok=%v err=%v, want %v", d, ok, err, want)
+		}
+	})
+	t.Run("duration", func(t *testing.T) {
+		d, ok, err := ParseDeadlineHeader("1500ms", now)
+		if err != nil || !ok || !d.Equal(now.Add(1500*time.Millisecond)) {
+			t.Fatalf("duration form: %v ok=%v err=%v", d, ok, err)
+		}
+	})
+	t.Run("negative-duration", func(t *testing.T) {
+		if _, _, err := ParseDeadlineHeader("-2s", now); err == nil {
+			t.Fatal("negative duration accepted")
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		if _, _, err := ParseDeadlineHeader("soon", now); err == nil {
+			t.Fatal("garbage accepted")
+		}
+	})
+	t.Run("roundtrip", func(t *testing.T) {
+		h := http.Header{}
+		want := now.Add(3 * time.Second)
+		SetDeadlineHeader(h, want)
+		d, ok, err := ParseDeadlineHeader(h.Get(DeadlineHeader), now)
+		if err != nil || !ok || !d.Equal(want.Truncate(time.Millisecond)) {
+			t.Fatalf("roundtrip: %v ok=%v err=%v, want %v", d, ok, err, want)
+		}
+	})
+}
+
+// TestServerDeadlineExpired504 pins the serve-side half of deadline
+// propagation: a request whose X-Deadline has already passed is refused
+// with a structured 504 before any evaluation runs.
+func TestServerDeadlineExpired504(t *testing.T) {
+	s, err := New(Options{Loops: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	expired := strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10)
+	for _, path := range []string{
+		"/v1/eval?config=2w2&regs=64",
+		"/v1/experiments/table1",
+	} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		req.Header.Set(DeadlineHeader, expired)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("GET %s with expired deadline: HTTP %d, want 504: %s", path, resp.StatusCode, body)
+		}
+		var e Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("GET %s: 504 body not a structured error: %v: %s", path, err, body)
+		}
+	}
+
+	// A malformed header is a 400, not a hang or a silent default.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/eval?config=2w2&regs=64", nil)
+	req.Header.Set(DeadlineHeader, "whenever")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed X-Deadline: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestManagerTenantAttribution(t *testing.T) {
+	m := NewManager(ManagerOptions{})
+	w := sameSuite(t, "shared")[0]
+	if _, err := m.Import(w); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		h, err := m.AcquireFor("shared", "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	h, err := m.AcquireFor("shared", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	// Anonymous traffic is not attributed to any tenant.
+	h, err = m.AcquireFor("shared", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	st := m.Stats()
+	if len(st.Engines) != 1 {
+		t.Fatalf("%d engines, want 1", len(st.Engines))
+	}
+	got := st.Engines[0].Tenants
+	if got["alice"] != 3 || got["bob"] != 1 || len(got) != 2 {
+		t.Fatalf("tenants = %v, want alice:3 bob:1 and nothing else", got)
+	}
+}
+
+func TestManagerPreloadReportsBuilt(t *testing.T) {
+	m := NewManager(ManagerOptions{})
+	ws := sameSuite(t, "wa", "wb")
+	for _, w := range ws {
+		if _, err := m.Import(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm wa by hand; a preload of both must then build only wb.
+	acquireRelease(t, m, "wa")
+	if !m.Warm("wa") || m.Warm("wb") {
+		t.Fatalf("warm state before preload: wa=%v wb=%v, want true/false", m.Warm("wa"), m.Warm("wb"))
+	}
+	warmed, built, err := m.Preload([]string{"wa", "wb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 2 || len(built) != 1 || built[0] != "wb" {
+		t.Fatalf("Preload = (%d, %v), want 2 warmed with only wb built", warmed, built)
+	}
+}
+
+// TestClientForwardsTenantAndDeadline pins the client half of the
+// end-to-end path: the Tenant option always rides along, and the
+// caller's context deadline is forwarded as an absolute X-Deadline —
+// but the client's own default RequestTimeout is not (it is a local
+// hang guard, not an end-to-end budget).
+func TestClientForwardsTenantAndDeadline(t *testing.T) {
+	type seen struct{ tenant, deadline string }
+	ch := make(chan seen, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ch <- seen{r.Header.Get(TenantHeader), r.Header.Get(DeadlineHeader)}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClientOptions(ts.URL, ClientOptions{Tenant: "alice"})
+
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := <-ch
+	if got.tenant != "alice" {
+		t.Fatalf("tenant header = %q, want alice", got.tenant)
+	}
+	if got.deadline != "" {
+		t.Fatalf("X-Deadline = %q without a caller deadline, want unset", got.deadline)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got = <-ch
+	if got.deadline == "" {
+		t.Fatal("caller deadline not forwarded as X-Deadline")
+	}
+	ms, err := strconv.ParseInt(got.deadline, 10, 64)
+	if err != nil {
+		t.Fatalf("X-Deadline %q is not absolute unix millis: %v", got.deadline, err)
+	}
+	until := time.Until(time.UnixMilli(ms))
+	if until <= 0 || until > 5*time.Second {
+		t.Fatalf("forwarded deadline is %v away, want within the caller's 5s budget", until)
+	}
+}

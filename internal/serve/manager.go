@@ -65,6 +65,10 @@ type engineEntry struct {
 	lastUsed int64
 	active   int
 	requests int64
+	// tenants counts acquisitions per X-Tenant value, the serve-side half
+	// of the fleet's per-tenant engine-budget attribution (anonymous
+	// requests are not recorded).
+	tenants map[string]int64
 }
 
 // built reports (without blocking) that the entry's build finished
@@ -116,6 +120,14 @@ func (h *Handle) Release() {
 // first use. Concurrent first requests coalesce onto one build. The
 // caller must Release the handle.
 func (m *Manager) Acquire(name string) (*Handle, error) {
+	return m.AcquireFor(name, "")
+}
+
+// AcquireFor is Acquire with the requesting tenant recorded against the
+// engine, so /v1/stats can attribute each warm engine's budget to the
+// tenants using it. An empty tenant (anonymous, or internal traffic
+// like preload) is not recorded.
+func (m *Manager) AcquireFor(name, tenant string) (*Handle, error) {
 	m.mu.Lock()
 	e, ok := m.entries[name]
 	if ok {
@@ -138,6 +150,12 @@ func (m *Manager) Acquire(name string) (*Handle, error) {
 	e.lastUsed = m.seq
 	e.active++
 	e.requests++
+	if tenant != "" {
+		if e.tenants == nil {
+			e.tenants = map[string]int64{}
+		}
+		e.tenants[tenant]++
+	}
 	m.mu.Unlock()
 
 	if !ok {
@@ -221,15 +239,26 @@ func (m *Manager) Imported() []*workload.Workload {
 	return out
 }
 
+// Warm reports (without building anything) whether the named workload's
+// engine is already built.
+func (m *Manager) Warm(name string) bool {
+	m.mu.Lock()
+	e, ok := m.entries[name]
+	m.mu.Unlock()
+	return ok && e.built()
+}
+
 // Preload warms engines for the named workloads, one at a time, and
-// returns how many warmed. A failing name no longer aborts the sweep:
-// every remaining engine is still warmed, and the failures come back
-// joined (errors.Join), so one bad -preload entry costs one cold engine
-// instead of all of them.
-func (m *Manager) Preload(names []string) (int, error) {
+// returns how many warmed plus the names that were actually constructed
+// (as opposed to found already warm) — the fleet router's replica-warm
+// accounting needs the distinction. A failing name does not abort the
+// sweep: every remaining engine is still warmed, and the failures come
+// back joined (errors.Join), so one bad -preload entry costs one cold
+// engine instead of all of them.
+func (m *Manager) Preload(names []string) (warmed int, built []string, err error) {
 	var errs []error
-	warmed := 0
 	for _, name := range names {
+		wasWarm := m.Warm(name)
 		h, err := m.Acquire(name)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("serve: preload %s: %w", name, err))
@@ -237,8 +266,11 @@ func (m *Manager) Preload(names []string) (int, error) {
 		}
 		h.Release()
 		warmed++
+		if !wasWarm {
+			built = append(built, name)
+		}
 	}
-	return warmed, errors.Join(errs...)
+	return warmed, built, errors.Join(errs...)
 }
 
 // ManagerStats is a snapshot of the cache counters and the warm engines.
@@ -270,12 +302,20 @@ func (m *Manager) Stats() ManagerStats {
 		mem := e.eng.MemEstimate()
 		s.Mem += mem
 		es := e.eng.Stats()
+		var tenants map[string]int64
+		if len(e.tenants) > 0 {
+			tenants = make(map[string]int64, len(e.tenants))
+			for k, v := range e.tenants {
+				tenants[k] = v
+			}
+		}
 		s.Engines = append(s.Engines, EngineStats{
 			Workload:      e.key,
 			Source:        e.source,
 			Loops:         len(e.wl.Loops),
 			MemUnits:      mem,
 			Requests:      e.requests,
+			Tenants:       tenants,
 			WidenComputes: es.WidenComputes,
 			SuiteComputes: es.SuiteComputes,
 			PeakComputes:  es.PeakComputes,

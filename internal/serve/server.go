@@ -89,7 +89,7 @@ func New(opts Options) (*Server, error) {
 			r.URL.Path)
 	})
 	s.hs = &http.Server{Handler: s.mux}
-	if warmed, err := s.mgr.Preload(opts.Preload); err != nil {
+	if warmed, _, err := s.mgr.Preload(opts.Preload); err != nil {
 		if warmed == 0 {
 			return nil, err
 		}
@@ -184,8 +184,8 @@ func (s *Server) handlePrewarm(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "prewarm request has no workloads")
 		return
 	}
-	warmed, err := s.mgr.Preload(req.Workloads)
-	resp := PrewarmResponse{Warmed: warmed}
+	warmed, built, err := s.mgr.Preload(req.Workloads)
+	resp := PrewarmResponse{Warmed: warmed, Built: built}
 	if err != nil {
 		for _, e := range flattenErrs(err) {
 			resp.Errors = append(resp.Errors, e.Error())
@@ -239,7 +239,34 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// requestContext applies the request's X-Deadline header (when present)
+// to its context, so evaluation work is bounded by the client's
+// end-to-end deadline rather than only by connection liveness. The
+// error is a client error (bad header) the caller maps to 400.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	deadline, ok, err := ParseDeadlineHeader(r.Header.Get(DeadlineHeader), time.Now())
+	if err != nil || !ok {
+		return r.Context(), func() {}, err
+	}
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	return ctx, cancel, nil
+}
+
+// writeDeadlineExceeded answers a request whose deadline passed before
+// (or while) the evaluation could run: a structured 504 instead of
+// burning scheduler time on an answer nobody is waiting for.
+func writeDeadlineExceeded(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusGatewayTimeout,
+		"deadline %s exceeded before evaluation completed", r.Header.Get(DeadlineHeader))
+}
+
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
 	q := r.URL.Query()
 	cfg, err := machine.ParseConfig(q.Get("config"))
 	if err != nil {
@@ -265,11 +292,15 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "regs and partitions must be >= 1")
 		return
 	}
-	h, err := s.acquire(w, q.Get("workload"))
+	h, err := s.acquire(w, r, q.Get("workload"))
 	if err != nil {
 		return
 	}
 	defer h.Release()
+	if ctx.Err() != nil {
+		writeDeadlineExceeded(w, r)
+		return
+	}
 	p, err := evalCell(h.Engine(), cfg, regs, parts, z)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -283,6 +314,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
@@ -319,12 +356,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		cfgs[i] = cfg
 	}
-	h, err := s.acquire(w, req.Workload)
+	h, err := s.acquire(w, r, req.Workload)
 	if err != nil {
 		return
 	}
 	defer h.Release()
 	eng := h.Engine()
+	if ctx.Err() != nil {
+		writeDeadlineExceeded(w, r)
+		return
+	}
 
 	if streaming(r) {
 		// NDJSON: one point per line, in submission order, flushed as each
@@ -338,6 +379,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		flusher, _ := w.(http.Flusher)
 		sent := 0
 		for i, c := range req.Cells {
+			if ctx.Err() != nil {
+				// Deadline passed mid-stream: stop evaluating and end the
+				// stream without its trailer — the established truncation
+				// signal — instead of scheduling cells nobody will wait for.
+				return
+			}
 			p, _ := evalCell(eng, cfgs[i], c.Regs, max(c.Partitions, 1), c.Z)
 			if err := enc.Encode(p); err != nil {
 				return
@@ -372,6 +419,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	rctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
 	id := r.PathValue("id")
 	known := false
 	for _, have := range experiments.IDs() {
@@ -397,7 +450,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx = experiments.NewContextOver(nil, nil, 0, 0)
 	} else {
-		h, err := s.acquire(w, r.URL.Query().Get("workload"))
+		h, err := s.acquire(w, r, r.URL.Query().Get("workload"))
 		if err != nil {
 			return
 		}
@@ -407,6 +460,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		// rebuilt engine after eviction, or a fresh server on the same
 		// cache dir — answers from disk without touching the scheduler.
 		ctx.Cache = s.cache
+	}
+	if rctx.Err() != nil {
+		writeDeadlineExceeded(w, r)
+		return
 	}
 	res, err := ctx.Run(id)
 	if err != nil {
@@ -458,12 +515,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 // acquire resolves the workload query parameter ("" = the default
 // scenario) to a warm engine, writing the error response itself on
-// failure.
-func (s *Server) acquire(w http.ResponseWriter, name string) (*Handle, error) {
+// failure. The request's tenant (X-Tenant) is recorded against the
+// engine for budget attribution.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request, name string) (*Handle, error) {
 	if name == "" {
 		name = workload.Default
 	}
-	h, err := s.mgr.Acquire(name)
+	h, err := s.mgr.AcquireFor(name, r.Header.Get(TenantHeader))
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, ErrUnknownWorkload) {
